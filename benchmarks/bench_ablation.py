@@ -1,0 +1,190 @@
+"""A-ablation — the design choices DESIGN.md §5 calls out.
+
+1. resource awareness off (fixed width-8 materialize = PaSh shape)
+   -> reproduces the Standard-instance regression;
+2. purity check off -> unsound early expansion observably changes
+   behaviour (counted on a script corpus);
+3. burst-credit modelling off (flat-IOPS gp2) -> the Figure 1 crossover
+   disappears;
+4. bounded pipes vs effectively-unbounded -> overlap is overstated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench import format_table, run_engine, words_text
+from repro.compiler import OptimizerConfig, PashConfig, PashOptimizer
+from repro.jit import JashConfig, JashOptimizer
+from repro.shell import Shell
+from repro.vos.devices import gp2_spec
+from repro.vos.machines import MachineSpec
+
+from common import bench_mb, once, record
+
+SCRIPT = "cat /data/in.txt | tr -cs A-Za-z '\\n' | sort > /data/out.txt"
+
+
+def standard_machine(input_bytes: int, burst_bucket: bool = True) -> MachineSpec:
+    seq_ops = input_bytes / (128 * 1024)
+    disk = gp2_spec(burst_credit_ops=3.0 * seq_ops)
+    if not burst_bucket:
+        # ablation 3: model gp2 as flat burst-rate IOPS (no bucket)
+        disk = dataclasses.replace(disk, burst_credit_ops=0.0,
+                                   base_iops=disk.burst_iops,
+                                   refill_ops_per_s=0.0)
+    return MachineSpec("standard", cores=8, disk=disk)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = words_text(int(bench_mb() * 1e6 / 2), seed=42)
+    return {"/data/in.txt": data}, len(words_text(int(bench_mb() * 1e6 / 2), seed=42))
+
+
+def test_ablation_resource_awareness(workload, benchmark):
+    """Fixing Jash's plan to PaSh's (width 8, materialize) on the
+    IOPS-starved machine reproduces the regression resource awareness
+    exists to avoid."""
+    once(benchmark, lambda: None)
+    files, nbytes = workload
+    machine = standard_machine(nbytes)
+    t_bash = run_engine("bash", SCRIPT, machine, files=files).result.elapsed
+    t_jash = run_engine("jash", SCRIPT, machine, files=files).result.elapsed
+    # ablated: resource-oblivious fixed plan
+    ablated = PashOptimizer(PashConfig(width=8, modes=("materialize",)))
+    shell = Shell(standard_machine(nbytes), optimizer=ablated)
+    for path, data in files.items():
+        shell.fs.write_bytes(path, data)
+    t_ablated = shell.run(SCRIPT).elapsed
+    rows = [
+        ["bash", t_bash], ["jash (resource-aware)", t_jash],
+        ["jash ablated (fixed width-8 materialize)", t_ablated],
+    ]
+    record("ablation_resources", format_table(
+        ["variant", "virtual_s"], rows,
+        title="A-ablation 1: resource awareness on the Standard instance",
+    ))
+    assert t_jash < t_bash
+    assert t_ablated > t_bash  # the regression returns
+
+
+def test_ablation_purity_check(benchmark):
+    """Disabling the purity gate makes early expansion observable: the
+    ${N:=1} default-assignment runs twice (once during JIT analysis,
+    once during interpretation), changing the script's output."""
+    once(benchmark, lambda: None)
+
+    class UnsoundJash(JashOptimizer):
+        def try_execute(self, interp, proc, node):
+            from repro.jit.frontend import expand_region, pipeline_stages
+
+            stages = pipeline_stages(node)
+            if stages is None:
+                return None
+                yield  # pragma: no cover
+            # ablated: expand WITHOUT the purity check
+            yield from expand_region(interp, proc, stages,
+                                     self.config.library)
+            return None  # then interpret anyway — expansion already ran!
+
+    # the command substitution appends to /data/log every time it is
+    # expanded: double expansion is observable as a doubled count
+    script = (
+        "cat $(echo hit >> /data/log; echo /data/in.txt) > /dev/null; "
+        "wc -l /data/log"
+    )
+    data = b"x\n" * 100
+
+    def run(optimizer):
+        shell = Shell(optimizer=optimizer)
+        shell.fs.write_bytes("/data/in.txt", data)
+        shell.fs.write_bytes("/data/log", b"")
+        return shell.run(script).out
+
+    sound = run(JashOptimizer())
+    unsound = run(UnsoundJash())
+    rows = [["sound (purity-gated)", sound.strip()],
+            ["ablated (no purity gate)", unsound.strip()]]
+    record("ablation_purity", format_table(
+        ["variant", "side-effect count (log lines)"], rows,
+        title="A-ablation 2: purity-gated early expansion",
+    ))
+    assert sound != unsound  # the ablation observably corrupts behaviour
+
+
+def test_ablation_burst_model(workload, benchmark):
+    """With a flat-IOPS gp2 model the Figure 1 crossover disappears:
+    PaSh no longer regresses on Standard.  The burst bucket is
+    load-bearing."""
+    once(benchmark, lambda: None)
+    files, nbytes = workload
+    with_bucket = standard_machine(nbytes, burst_bucket=True)
+    without_bucket = standard_machine(nbytes, burst_bucket=False)
+    rows = []
+    results = {}
+    for label, machine in (("bucket", with_bucket),
+                           ("flat-iops", without_bucket)):
+        t_bash = run_engine("bash", SCRIPT, machine, files=files).result.elapsed
+        t_pash = run_engine("pash", SCRIPT, machine, files=files).result.elapsed
+        results[label] = (t_bash, t_pash)
+        rows.append([label, t_bash, t_pash,
+                     "pash regresses" if t_pash > t_bash else "pash wins"])
+    record("ablation_burst", format_table(
+        ["gp2 model", "bash_s", "pash_s", "verdict"], rows,
+        title="A-ablation 3: burst-credit modelling",
+    ))
+    assert results["bucket"][1] > results["bucket"][0]
+    assert results["flat-iops"][1] < results["flat-iops"][0]
+
+
+def test_ablation_pipe_capacity(benchmark):
+    """Bounded pipes throttle a fast producer behind a slower consumer
+    (backpressure); unbounded pipes let the producer flood ahead — the
+    buffer's high-water mark is the 'lots of available storage space for
+    buffering' PaSh's batch design assumes."""
+    once(benchmark, lambda: None)
+    import repro.semantics.interp as interp_mod
+    import repro.vos.handles as handles_mod
+    import repro.vos.pipes as pipes_mod
+
+    # fast producer (cat at 1 GB/s-equiv) into a slow consumer (sort
+    # must buffer and is charged n log n)
+    script = "cat /data/big | sort > /dev/null"
+    data = words_text(2_000_000, seed=3)
+
+    def run_with_capacity(capacity):
+        created: list = []
+
+        def patched_make_pipe(cap=64 * 1024):
+            pipe = pipes_mod.Pipe(capacity)
+            created.append(pipe)
+            return handles_mod.PipeReader(pipe), handles_mod.PipeWriter(pipe)
+
+        original = handles_mod.make_pipe
+        original_interp = interp_mod.make_pipe
+        handles_mod.make_pipe = patched_make_pipe
+        interp_mod.make_pipe = patched_make_pipe
+        try:
+            shell = Shell()
+            shell.fs.write_bytes("/data/big", data)
+            result = shell.run(script)
+            assert result.status == 0
+            return max(p.peak_bytes for p in created)
+        finally:
+            handles_mod.make_pipe = original
+            interp_mod.make_pipe = original_interp
+
+    bounded_peak = run_with_capacity(64 * 1024)
+    unbounded_peak = run_with_capacity(1 << 30)
+    rows = [["64 KiB (realistic)", bounded_peak],
+            ["1 GiB (effectively unbounded)", unbounded_peak]]
+    record("ablation_pipes", format_table(
+        ["pipe capacity", "peak buffered bytes"], rows,
+        title="A-ablation 4: pipe capacity and buffering memory",
+    ))
+    assert bounded_peak <= 64 * 1024
+    # without backpressure the producer floods the whole input into RAM
+    assert unbounded_peak > len(data) / 2

@@ -1,0 +1,140 @@
+"""T-infer — §4 Heuristic support.
+
+"Formal methods techniques such as fuzz testing ... could (i) test that
+a command conforms to its specification or even (ii) learn important
+aspects of a command's specification by inspecting its behavior."
+
+Reproduction: run black-box inference over a corpus of invocations and
+report inferred-vs-spec agreement.  The shipped library must contain no
+*unsound* annotation (claiming more parallelism than the command has),
+and inference must recover the class of the common invocations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotations import DEFAULT_LIBRARY, ParClass
+from repro.annotations.inference import infer, validate_spec
+from repro.bench import format_table
+
+from common import once, record
+
+CORPUS = [
+    ["cat"],
+    ["tr", "a-z", "A-Z"],
+    ["tr", "-d", "0-9"],
+    ["tr", "-cs", "A-Za-z", "\\n"],
+    ["grep", "a"],
+    ["grep", "-v", "a"],
+    ["grep", "-i", "foo"],
+    ["grep", "-c", "a"],
+    ["cut", "-c", "1-3"],
+    ["sed", "s/a/b/"],
+    ["sed", "/x/d"],
+    ["rev"],
+    ["sort"],
+    ["sort", "-r"],
+    ["sort", "-n"],
+    ["sort", "-rn"],
+    ["sort", "-u"],
+    ["wc", "-l"],
+    ["wc", "-c"],
+    ["uniq"],
+    ["uniq", "-c"],
+    ["head", "-n", "3"],
+    ["tail", "-n", "3"],
+    ["tac"],
+    ["nl"],
+    ["shuf", "--seed", "1"],
+    ["paste"],
+    ["awk", "{print $1}"],
+    ["awk", "{s+=$1} END {print s}"],
+]
+
+ORDER = {
+    ParClass.STATELESS: 2,
+    ParClass.PARALLELIZABLE_PURE: 1,
+    ParClass.NON_PARALLELIZABLE: 0,
+    ParClass.SIDE_EFFECTFUL: 0,
+}
+
+
+@pytest.fixture(scope="module")
+def inference_results():
+    rows = []
+    agree = 0
+    conservative = 0
+    unsound = 0
+    for argv in CORPUS:
+        inferred = infer(argv, trials=4)
+        spec = DEFAULT_LIBRARY.classify(argv[0], argv[1:])
+        spec_class = spec.par_class if spec else None
+        if spec_class is None:
+            verdict = "no-spec"
+        elif inferred.par_class is spec_class:
+            verdict = "agree"
+            agree += 1
+        elif ORDER[spec_class] < ORDER[inferred.par_class]:
+            verdict = "spec-conservative"
+            conservative += 1
+        else:
+            verdict = "SPEC-UNSOUND"
+            unsound += 1
+        rows.append([
+            " ".join(argv),
+            spec_class.value if spec_class else "-",
+            inferred.par_class.value,
+            verdict,
+        ])
+    return rows, agree, conservative, unsound
+
+
+def test_inference_table(inference_results, benchmark):
+    once(benchmark, lambda: None)
+    rows, agree, conservative, unsound = inference_results
+    summary = [["TOTAL", f"{agree} agree", f"{conservative} conservative",
+                f"{unsound} unsound"]]
+    record("inference", format_table(
+        ["invocation", "spec", "inferred", "verdict"], rows + summary,
+        title="T-infer: black-box spec inference vs the shipped library",
+    ))
+
+
+def test_inference_finds_the_tr_squeeze_unsoundness(inference_results,
+                                                    benchmark):
+    """The paper's promise delivered: black-box testing *finds* that the
+    PaSh-compatible ``tr -s`` annotation is unsound at chunk boundaries
+    (squeeze state crosses line-aligned splits when a line begins with a
+    separator-class byte).  The shipped library documents and keeps the
+    PaSh behaviour; ``build_default_library(strict_tr_squeeze=True)``
+    gives the sound classification inference recommends."""
+    once(benchmark, lambda: None)
+    rows, _agree, _conservative, unsound = inference_results
+    unsound_rows = [r for r in rows if r[3] == "SPEC-UNSOUND"]
+    assert unsound == 1
+    assert unsound_rows[0][0].startswith("tr -cs")
+
+
+def test_strict_library_is_sound(benchmark):
+    once(benchmark, lambda: None)
+    from repro.annotations.library import build_default_library
+    from repro.annotations.inference import infer
+
+    strict = build_default_library(strict_tr_squeeze=True)
+    spec = strict.classify("tr", ["-cs", "A-Za-z", "\\n"])
+    inferred = infer(["tr", "-cs", "A-Za-z", "\\n"])
+    assert spec.par_class is inferred.par_class
+
+
+def test_high_agreement(inference_results, benchmark):
+    once(benchmark, lambda: None)
+    rows, agree, conservative, _ = inference_results
+    assert agree / len(CORPUS) > 0.75
+
+
+def test_validate_spec_api(benchmark):
+    once(benchmark, lambda: None)
+    spec = DEFAULT_LIBRARY.classify("sort", [])
+    ok, message = validate_spec(["sort"], spec)
+    assert ok, message

@@ -1,0 +1,83 @@
+"""T-jit-overhead — §3.2 footnote 1 and the JIT architecture.
+
+"the compiler is invoked at the right time with adequate information
+about the state of the shell and its environment."  Being invoked on
+*every* command, the JIT machinery must be cheap relative to the work
+it orchestrates — and must bail out early on small inputs.
+
+Reproduction: end-to-end runtime with and without the JIT across input
+sizes; the overhead on never-optimized workloads must stay under a few
+percent, and the crossover (where optimization starts paying) must sit
+near the optimizer's min-input threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, run_engine, words_text
+from repro.vos.machines import aws_c5_2xlarge_gp3
+
+from common import once, record
+
+SCRIPT = "cat /data/in.txt | tr -cs A-Za-z '\\n' | sort > /data/out.txt"
+
+SIZES = {
+    "1KB": 1_000,
+    "100KB": 100_000,
+    "1MB": 1_000_000,
+    "4MB": 4_000_000,
+}
+
+
+@pytest.fixture(scope="module")
+def overhead_results():
+    results = {}
+    for label, nbytes in SIZES.items():
+        data = words_text(nbytes, seed=17)
+        for engine in ("bash", "jash"):
+            run = run_engine(engine, SCRIPT, aws_c5_2xlarge_gp3(),
+                             files={"/data/in.txt": data})
+            assert run.result.status == 0
+            results[(engine, label)] = run
+    return results
+
+
+def test_overhead_table(overhead_results, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for label in SIZES:
+        t_bash = overhead_results[("bash", label)].result.elapsed
+        t_jash = overhead_results[("jash", label)].result.elapsed
+        optimized = overhead_results[("jash", label)].optimizer.optimized_count
+        rows.append([label, t_bash, t_jash,
+                     f"{(t_jash / t_bash - 1) * 100:+.1f}%",
+                     "yes" if optimized else "no"])
+    record("jit_overhead", format_table(
+        ["input", "bash_s", "jash_s", "jash_delta", "optimized"], rows,
+        title="T-jit-overhead: JIT cost across input sizes",
+    ))
+
+
+def test_small_inputs_cheap(overhead_results, benchmark):
+    """On inputs below the threshold the JIT only pays its pre-screen:
+    within 5% of bash."""
+    once(benchmark, lambda: None)
+    for label in ("1KB", "100KB"):
+        t_bash = overhead_results[("bash", label)].result.elapsed
+        t_jash = overhead_results[("jash", label)].result.elapsed
+        assert t_jash <= t_bash * 1.05, label
+
+
+def test_large_inputs_win(overhead_results, benchmark):
+    once(benchmark, lambda: None)
+    t_bash = overhead_results[("bash", "4MB")].result.elapsed
+    t_jash = overhead_results[("jash", "4MB")].result.elapsed
+    assert t_jash < t_bash * 0.6
+
+
+def test_crossover_at_threshold(overhead_results, benchmark):
+    """Below the 1 MiB default threshold: interpreted; above: optimized."""
+    once(benchmark, lambda: None)
+    assert overhead_results[("jash", "100KB")].optimizer.optimized_count == 0
+    assert overhead_results[("jash", "4MB")].optimizer.optimized_count == 1

@@ -1,0 +1,112 @@
+"""T-noregress — §3.2: Jash yields "performance benefits (and no
+regressions!) for a wider variety of scripts and input workloads" and
+"can be used by anyone on any infrastructure".
+
+Reproduction: a {input size} x {machine} x {engine} grid.  Jash must
+never regress more than a small epsilon against bash anywhere (it
+declines to transform when not profitable); PaSh's fixed-width batch
+plan regresses on at least one cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, run_engine, words_text
+from repro.vos.devices import gp2_spec
+from repro.vos.machines import (
+    MachineSpec,
+    aws_c5_2xlarge_gp3,
+    raspberry_pi,
+)
+
+from common import bench_mb, once, record
+
+SCRIPT = "cat /data/in.txt | tr -cs A-Za-z '\\n' | sort > /data/out.txt"
+
+#: Jash may lose at most this fraction vs bash anywhere (JIT overhead).
+EPSILON = 0.05
+
+
+def io_poor() -> MachineSpec:
+    return MachineSpec("io-poor", cores=8,
+                       disk=gp2_spec(burst_credit_ops=150.0))
+
+
+MACHINES = {
+    "io-poor": io_poor,
+    "io-rich": aws_c5_2xlarge_gp3,
+    "palmtop": raspberry_pi,
+}
+
+SIZES = {
+    "tiny": 4_000,
+    "small": 400_000,
+    "large": None,  # filled from bench_mb()
+}
+
+
+@pytest.fixture(scope="module")
+def grid():
+    sizes = dict(SIZES)
+    sizes["large"] = int(bench_mb() * 1e6 / 2)
+    results = {}
+    for size_name, nbytes in sizes.items():
+        data = words_text(nbytes, seed=31)
+        for mname, factory in MACHINES.items():
+            for engine in ("bash", "pash", "jash"):
+                run = run_engine(engine, SCRIPT, factory(),
+                                 files={"/data/in.txt": data})
+                assert run.result.status == 0
+                results[(engine, mname, size_name)] = run.result.elapsed
+    return results
+
+
+def test_grid_table(grid, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    regressions = {"pash": 0, "jash": 0}
+    for (engine, mname, size_name), t in sorted(grid.items()):
+        if engine == "bash":
+            continue
+        base = grid[("bash", mname, size_name)]
+        regressed = t > base * (1 + EPSILON)
+        if regressed:
+            regressions[engine] += 1
+        rows.append([mname, size_name, engine, t, base,
+                     "REGRESSION" if regressed else "ok"])
+    rows.append(["-", "-", "pash regressions", regressions["pash"], "", ""])
+    rows.append(["-", "-", "jash regressions", regressions["jash"], "", ""])
+    record("noregression", format_table(
+        ["machine", "input", "engine", "virtual_s", "bash_s", "verdict"],
+        rows, title="T-noregress: engine grid (regressions vs bash)",
+    ))
+
+
+def test_jash_never_regresses(grid, benchmark):
+    once(benchmark, lambda: None)
+    for (engine, mname, size_name), t in grid.items():
+        if engine != "jash":
+            continue
+        base = grid[("bash", mname, size_name)]
+        assert t <= base * (1 + EPSILON), (mname, size_name, t, base)
+
+
+def test_pash_regresses_somewhere(grid, benchmark):
+    """resource-oblivious fixed-width batch plans cannot be free: the
+    io-poor machine punishes materialization."""
+    once(benchmark, lambda: None)
+    regressions = [
+        key for key, t in grid.items()
+        if key[0] == "pash" and t > grid[("bash",) + key[1:]] * (1 + EPSILON)
+    ]
+    assert regressions
+
+
+def test_jash_wins_big_somewhere(grid, benchmark):
+    once(benchmark, lambda: None)
+    wins = [
+        grid[("bash",) + key[1:]] / t
+        for key, t in grid.items() if key[0] == "jash"
+    ]
+    assert max(wins) > 2.0

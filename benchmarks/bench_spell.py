@@ -1,0 +1,105 @@
+"""T-spell — the §3.2 spell-script argument.
+
+"An ahead-of-time compiler has no knowledge of the input files and thus
+cannot properly decide if and how to parallelize or distribute the
+above pipeline — i.e., neither PaSh nor POSH optimize this script."
+
+Reproduction: the optimizability matrix (engine x script -> optimized /
+interpreted) plus runtimes.  PaSh optimizes the *static* variant but
+must interpret the dynamic ($FILES/$DICT) one; Jash optimizes both and
+never loses to bash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, run_engine, spell_documents
+from repro.vos.machines import aws_c5_2xlarge_gp3
+
+from common import bench_mb, once, record
+
+DYNAMIC_SPELL = (
+    'DICT=/usr/share/dict/words\nFILES="$@"\n'
+    "cat $FILES | tr A-Z a-z | tr -cs a-z '\\n' | sort -u "
+    "| comm -13 $DICT - > /data/typos.txt\n"
+)
+STATIC_SPELL = (
+    "cat /docs/doc0.txt /docs/doc1.txt | tr A-Z a-z | tr -cs a-z '\\n' "
+    "| sort -u | comm -13 /usr/share/dict/words - > /data/typos.txt\n"
+)
+
+
+def optimized_count(run) -> int:
+    opt = run.optimizer
+    if opt is None:
+        return 0
+    return getattr(opt, "optimized_count", 0)
+
+
+@pytest.fixture(scope="module")
+def spell_results():
+    per_doc = int(bench_mb() * 1e6 / 4)
+    docs, dictionary = spell_documents(2, per_doc, seed=23)
+    files = dict(docs)
+    files["/usr/share/dict/words"] = dictionary
+    machine_factory = aws_c5_2xlarge_gp3
+    args = sorted(docs)
+    grid = {}
+    for engine in ("bash", "pash", "jash"):
+        for label, script, sargs in (("dynamic", DYNAMIC_SPELL, args),
+                                     ("static", STATIC_SPELL, None)):
+            run = run_engine(engine, script, machine_factory(), files=files,
+                             args=sargs)
+            assert run.result.status == 0, (engine, label, run.result.err)
+            grid[(engine, label)] = run
+    return grid
+
+
+def test_spell_matrix(spell_results, benchmark):
+    once(benchmark, lambda: None)
+    rows = []
+    for engine in ("bash", "pash", "jash"):
+        for label in ("dynamic", "static"):
+            run = spell_results[(engine, label)]
+            decision = ("optimized" if optimized_count(run) else
+                        ("n/a" if engine == "bash" else "interpreted"))
+            rows.append([engine, label, decision, run.result.elapsed])
+    record("spell", format_table(
+        ["engine", "script", "decision", "virtual_s"], rows,
+        title="T-spell: who can optimize the spell pipeline?",
+    ))
+
+
+def test_pash_skips_dynamic_but_takes_static(spell_results, benchmark):
+    once(benchmark, lambda: None)
+    assert optimized_count(spell_results[("pash", "dynamic")]) == 0
+    assert optimized_count(spell_results[("pash", "static")]) == 1
+
+
+def test_jash_optimizes_both(spell_results, benchmark):
+    once(benchmark, lambda: None)
+    assert optimized_count(spell_results[("jash", "dynamic")]) >= 1
+    assert optimized_count(spell_results[("jash", "static")]) >= 1
+
+
+def test_jash_beats_bash_on_dynamic(spell_results, benchmark):
+    once(benchmark, lambda: None)
+    t_bash = spell_results[("bash", "dynamic")].result.elapsed
+    t_jash = spell_results[("jash", "dynamic")].result.elapsed
+    t_pash = spell_results[("pash", "dynamic")].result.elapsed
+    assert t_jash < t_bash * 0.7
+    # PaSh interprets the dynamic script: no speedup over bash
+    assert t_pash > t_bash * 0.9
+
+
+def test_outputs_identical(spell_results, benchmark):
+    once(benchmark, lambda: None)
+    outputs = {
+        key: run.shell.fs.read_bytes("/data/typos.txt")
+        for key, run in spell_results.items()
+    }
+    reference = outputs[("bash", "dynamic")]
+    assert reference  # typos were found
+    for key, out in outputs.items():
+        assert out == reference, key

@@ -1,0 +1,85 @@
+"""T-temp — the §2.1 succinctness/performance claim.
+
+"over 100 lines of Java code that perform a temperature analysis task
+can be translated to a 48-character four-stage pipeline of comparable
+performance:  cut -c 89-92 | grep -v 999 | sort -rn | head -n1"
+
+Reproduction: run the record-at-a-time 'Java-equivalent' program and
+the pipeline over the same NCDC-style records on the same machine
+model; compare answers (must match) and runtimes (same order of
+magnitude), and report the size contrast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    format_table,
+    java_temperature_program,
+    ncdc_records,
+    run_engine,
+)
+from repro.bench.runners import run_record_loop
+from repro.vos.machines import aws_c5_2xlarge_gp3
+
+from common import once, record
+
+PIPELINE = "cut -c 89-92 /data/ncdc.txt | grep -v 9999 | sort -rn | head -n1"
+N_RECORDS = 80_000
+
+
+@pytest.fixture(scope="module")
+def temperature_results():
+    data = ncdc_records(N_RECORDS, seed=7)
+    machine = aws_c5_2xlarge_gp3()
+    java_answer, java_seconds = run_record_loop(
+        java_temperature_program(), data, machine
+    )
+    run = run_engine("bash", PIPELINE, machine,
+                     files={"/data/ncdc.txt": data})
+    pipeline_answer = int(run.result.out.strip())
+    return {
+        "java_answer": java_answer,
+        "java_seconds": java_seconds,
+        "pipeline_answer": pipeline_answer,
+        "pipeline_seconds": run.result.elapsed,
+        "pipeline_chars": len("cut -c 89-92 | grep -v 999 | sort -rn | head -n1"),
+        "java_lines": len(java_temperature_program().splitlines()),
+    }
+
+
+def test_temperature_table(temperature_results, benchmark):
+    r = temperature_results
+    once(benchmark, lambda: None)
+    rows = [
+        ["record-loop (Java-equivalent)", f"{r['java_lines']} lines",
+         r["java_seconds"], r["java_answer"]],
+        ["4-stage pipeline", f"{r['pipeline_chars']} chars",
+         r["pipeline_seconds"], r["pipeline_answer"]],
+    ]
+    record("temperature", format_table(
+        ["program", "size", "virtual_s", "max_temp"], rows,
+        title=f"T-temp: temperature analysis over {N_RECORDS} NCDC records",
+    ))
+
+
+def test_same_answer(temperature_results, benchmark):
+    once(benchmark, lambda: None)
+    assert (temperature_results["java_answer"]
+            == temperature_results["pipeline_answer"])
+
+
+def test_comparable_performance(temperature_results, benchmark):
+    """'of comparable performance': within ~3x either way."""
+    once(benchmark, lambda: None)
+    ratio = (temperature_results["pipeline_seconds"]
+             / temperature_results["java_seconds"])
+    assert 1 / 3 <= ratio <= 3, ratio
+
+
+def test_succinctness_contrast(temperature_results, benchmark):
+    """~100 lines of Java vs a 48-character pipeline."""
+    once(benchmark, lambda: None)
+    assert temperature_results["java_lines"] >= 60
+    assert temperature_results["pipeline_chars"] == 48

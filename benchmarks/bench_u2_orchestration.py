@@ -1,0 +1,97 @@
+"""T-u2 — §2.3 U2: "performance doesn't scale ... This leads users to
+restricted parallelism orchestration tools [xargs -P, GNU parallel,
+...] or even worse, to replace parts of their scripts with programs in
+parallel frameworks, an error-prone process that requires significant
+effort."
+
+Reproduction: the classic "top requester" query over many log files,
+three ways —
+
+(a) the natural sequential script (what people write first);
+(b) the manual parallel rewrite users resort to: per-file sorts in
+    background jobs, wait, then a hand-placed `sort -m` merge — more
+    code, temp files, and an easy place to silently lose sortedness;
+(c) the *unmodified* natural script under Jash.
+
+The JIT should match the hand-parallelized version with zero script
+changes, which is the paper's argument for building optimization into
+the shell rather than bolting it on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import access_log, format_table, run_engine, speedup
+from repro.vos.machines import aws_c5_2xlarge_gp3
+
+from common import bench_mb, once, record
+
+N_FILES = 8
+
+NATURAL = (
+    "cat /logs/part*.log | cut -d ' ' -f 1 | sort | uniq -c "
+    "| sort -rn | head -n 1"
+)
+
+MANUAL = (
+    "for f in /logs/part*.log; do cut -d ' ' -f 1 $f | sort > $f.sorted & done\n"
+    "wait\n"
+    "sort -m /logs/*.sorted | uniq -c | sort -rn | head -n 1\n"
+    "rm -f /logs/*.sorted\n"
+)
+
+
+@pytest.fixture(scope="module")
+def u2_results():
+    lines_per_file = int(bench_mb() * 1e6 / N_FILES / 80)
+    files = {}
+    for i in range(N_FILES):
+        files[f"/logs/part{i}.log"] = access_log(lines_per_file, seed=500 + i)
+
+    results = {}
+    outputs = {}
+    for label, engine, script in (
+        ("sequential script (bash)", "bash", NATURAL),
+        ("manual & + wait + sort -m (bash)", "bash", MANUAL),
+        ("sequential script (jash)", "jash", NATURAL),
+    ):
+        run = run_engine(engine, script, aws_c5_2xlarge_gp3(), files=files)
+        assert run.result.status == 0, (label, run.result.err)
+        results[label] = run.result.elapsed
+        outputs[label] = run.result.stdout.split()[-1]  # the top host
+        if engine == "jash":
+            results["_jash_optimized"] = run.optimizer.optimized_count
+    assert len(set(outputs.values())) == 1, outputs  # same answer all ways
+    return results
+
+
+def test_u2_table(u2_results, benchmark):
+    once(benchmark, lambda: None)
+    base = u2_results["sequential script (bash)"]
+    rows = [
+        [label, seconds, speedup(base, seconds)]
+        for label, seconds in u2_results.items() if not label.startswith("_")
+    ]
+    record("u2_orchestration", format_table(
+        ["approach", "virtual_s", "vs_sequential"], rows,
+        title=f"T-u2: top-requester query over {N_FILES} log files",
+    ))
+
+
+def test_manual_orchestration_helps(u2_results, benchmark):
+    """The & + wait + sort -m dance does pay — which is why users keep
+    writing it."""
+    once(benchmark, lambda: None)
+    assert (u2_results["manual & + wait + sort -m (bash)"]
+            < u2_results["sequential script (bash)"] * 0.8)
+
+
+def test_jit_matches_manual_without_rewriting(u2_results, benchmark):
+    """Jash extracts comparable parallelism from the unmodified one-liner."""
+    once(benchmark, lambda: None)
+    assert u2_results["_jash_optimized"] >= 1
+    assert (u2_results["sequential script (jash)"]
+            <= u2_results["manual & + wait + sort -m (bash)"] * 1.2)
+    assert (u2_results["sequential script (jash)"]
+            < u2_results["sequential script (bash)"] * 0.7)

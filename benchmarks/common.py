@@ -1,0 +1,36 @@
+"""Shared benchmark helpers.
+
+Benchmarks report **virtual seconds** (the simulated clock), which is
+what reproduces the paper's figures; pytest-benchmark wraps each
+scenario once so wall-clock regressions of the simulator itself are
+also tracked.  Set ``JASH_BENCH_MB`` to scale the Figure 1 workload
+(default 12 MB; the paper used 3 GB — ratios, not absolutes, are the
+reproduction target, see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_mb() -> float:
+    return float(os.environ.get("JASH_BENCH_MB", "8"))
+
+
+def record(name: str, table: str) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its
+    value (simulations are deterministic; repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The distributed, fault-tolerant shell (paper §4 Distribution): log
+files spread over a cluster, analyzed with POSH-style data-aware
+placement, surviving a node crash mid-run.
+
+    python examples/distributed_grep.py
+"""
+
+from repro.bench import access_log
+from repro.distributed import Cluster, DistributedShell
+
+
+def main() -> None:
+    cluster = Cluster(n_nodes=4)
+    paths = []
+    total = 0
+    for i in range(8):
+        data = access_log(20_000, seed=100 + i)
+        path = f"/logs/part{i}.log"
+        # each file replicated on two of the three worker nodes
+        nodes = [f"node{1 + i % 3}", f"node{1 + (i + 1) % 3}"]
+        cluster.write_file(path, data, nodes)
+        paths.append(path)
+        total += len(data)
+    print(f"cluster: 4 nodes; {len(paths)} log files "
+          f"({total / 1e6:.1f} MB) replicated 2x on nodes 1-3\n")
+
+    dsh = DistributedShell(cluster, head="node0")
+    chain = "grep ' 500 ' | wc -l"
+    print(f"chain per file: {chain}  (aggregated with column-wise sum)\n")
+
+    r_central = dsh.run(chain, paths, strategy="central")
+    print(f"central placement:    {r_central.out.strip():>8} errors | "
+          f"{r_central.elapsed * 1000:7.2f} ms | "
+          f"{r_central.network_bytes / 1e6:6.2f} MB moved")
+
+    r_aware = dsh.run(chain, paths, strategy="data-aware", selectivity=0.1)
+    print(f"data-aware placement: {r_aware.out.strip():>8} errors | "
+          f"{r_aware.elapsed * 1000:7.2f} ms | "
+          f"{r_aware.network_bytes / 1e6:6.2f} MB moved")
+
+    # crash node1 shortly after the run starts
+    r_fault = dsh.run(chain, paths, strategy="data-aware", selectivity=0.1,
+                      fail={"node1": 0.002})
+    print(f"with node1 crashing:  {r_fault.out.strip():>8} errors | "
+          f"{r_fault.elapsed * 1000:7.2f} ms | "
+          f"{r_fault.retries} branches re-executed on replicas")
+
+    assert r_central.out == r_aware.out == r_fault.out
+    print("\nall three runs agree; placement:")
+    print(r_aware.placement.describe())
+
+
+if __name__ == "__main__":
+    main()

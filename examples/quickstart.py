@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: run shell scripts on the virtual OS, then let Jash
+optimize them.
+
+    python examples/quickstart.py
+"""
+
+from repro import JashOptimizer, Shell, aws_c5_2xlarge_gp3
+from repro.bench import words_text
+
+
+def main() -> None:
+    # --- 1. a plain shell on a simulated machine -------------------------
+    sh = Shell()  # laptop profile
+    sh.fs.write_bytes("/data/fruits.txt", b"banana\napple\ncherry\napple\n")
+
+    result = sh.run("sort -u /data/fruits.txt")
+    print("sorted unique fruits:")
+    print(result.out)
+    print(f"(virtual time: {result.elapsed * 1000:.3f} ms)\n")
+
+    # the full POSIX feature set is available: functions, loops,
+    # expansions, pipelines, command substitution ...
+    result = sh.run(
+        """
+        count_lines() { wc -l < "$1"; }
+        for f in /data/*.txt; do
+            echo "$f has $(count_lines $f) lines"
+        done
+        """
+    )
+    print(result.out)
+
+    # --- 2. the same script, bash vs Jash ---------------------------------
+    data = words_text(4_000_000, seed=1)  # ~4 MB of words
+    script = "cat /data/words.txt | tr -cs A-Za-z '\\n' | sort > /data/out.txt"
+
+    bash_shell = Shell(aws_c5_2xlarge_gp3())
+    bash_shell.fs.write_bytes("/data/words.txt", data)
+    bash_time = bash_shell.run(script).elapsed
+
+    jash = JashOptimizer()
+    jash_shell = Shell(aws_c5_2xlarge_gp3(), optimizer=jash)
+    jash_shell.fs.write_bytes("/data/words.txt", data)
+    jash_time = jash_shell.run(script).elapsed
+
+    same = (bash_shell.fs.read_bytes("/data/out.txt")
+            == jash_shell.fs.read_bytes("/data/out.txt"))
+    print(f"bash (interpreted): {bash_time:.3f} virtual s")
+    print(f"jash (JIT):         {jash_time:.3f} virtual s "
+          f"({bash_time / jash_time:.1f}x, outputs identical: {same})\n")
+
+    print("what the JIT did and why:")
+    print(jash.report())
+
+
+if __name__ == "__main__":
+    main()

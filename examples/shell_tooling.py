@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Heuristic support (paper §4): lint a script, explain a pipeline from
+the spec library, guard against command misuse at run time, and infer a
+command's specification by black-box testing.
+
+    python examples/shell_tooling.py
+"""
+
+from repro import Shell
+from repro.annotations.inference import infer
+from repro.lint import explain, lint
+from repro.lint.misuse import MisuseConfig, MisuseGuard
+
+RISKY_SCRIPT = """\
+cd /data
+cat access.log | grep ERROR > access.log
+rm -rf $TMPDIR/cache
+for f in `ls *.txt`; do read line < $f; done
+"""
+
+
+def main() -> None:
+    print("=== 1. static lint (ShellCheck's role) ===")
+    for diag in lint(RISKY_SCRIPT):
+        print(f"  {diag}")
+
+    print("\n=== 2. explain (explainshell's role, from the spec library) ===")
+    print(explain("cut -c 89-92 | grep -v 999 | sort -rn | head -n1"))
+
+    print("\n=== 3. run-time misuse guard (JIT-time, before execution) ===")
+    guard = MisuseGuard(MisuseConfig(enforce=True))
+    shell = Shell(optimizer=guard)
+    shell.fs.write_bytes("/data/scores.txt", b"beta 2\nalpha 1\n")
+    result = shell.run("sort /data/scores.txt > /data/scores.txt")
+    print(f"  exit status: {result.status}")
+    print(f"  stderr: {result.err.strip()}")
+    preserved = shell.fs.read_bytes("/data/scores.txt") == b"beta 2\nalpha 1\n"
+    print(f"  file preserved: {preserved}")
+
+    print("\n=== 4. spec inference by black-box testing ===")
+    for argv in (["tr", "a-z", "A-Z"], ["sort", "-rn"], ["uniq", "-c"],
+                 ["tac"]):
+        result = infer(argv)
+        agg = (f" (aggregator: {result.aggregator.kind.value})"
+               if result.aggregator else "")
+        print(f"  {' '.join(argv):14} -> {result.par_class.value}{agg}")
+
+    print("\n=== 5. the script tutor ===")
+    from repro.lint import tutor
+
+    print(tutor("cat $LOGS | grep ERROR | wc -l").render())
+
+
+if __name__ == "__main__":
+    main()

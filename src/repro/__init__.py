@@ -1,0 +1,54 @@
+"""repro — a reproduction of "Unix Shell Programming: The Next 50 Years"
+(HotOS '21): the Jash JIT-optimizing shell stack.
+
+The package builds, from scratch, every system the paper describes or
+depends on:
+
+====================  =====================================================
+repro.parser          S1  libdash-equivalent POSIX parser/unparser
+repro.semantics       S2  executable POSIX semantics + purity analysis
+repro.vos             S3  virtual OS: discrete-event kernel, disks, pipes
+repro.commands        S4  streaming coreutils with cost accounting
+repro.annotations     S5  PaSh/POSH command specs + black-box inference
+repro.dfg             S6  order-aware dataflow graphs
+repro.compiler        S7/8/10  parallelizing rewrites, cost model, optimizer
+repro.jit             S9  Jash: the JIT engine (the paper's proposal)
+repro.incremental     S11 incremental re-execution framework
+repro.distributed     S12 distributed fault-tolerant shell + POSH placement
+repro.lint            S13 static checks, misuse guard, explain
+repro.bench           S14 benchmark harness
+====================  =====================================================
+
+Quickstart::
+
+    from repro import Shell, JashOptimizer
+    sh = Shell(optimizer=JashOptimizer())
+    sh.fs.write_bytes("/in.txt", b"b\\na\\n")
+    print(sh.run("sort /in.txt").out)
+"""
+
+from .compiler import PashConfig, PashOptimizer
+from .incremental import IncrementalOptimizer
+from .jit import JashConfig, JashOptimizer
+from .jit.composite import CompositeOptimizer
+from .shell import RunResult, Shell, run_script
+from .vos.machines import (
+    MachineSpec,
+    PROFILES,
+    aws_c5_2xlarge_gp2,
+    aws_c5_2xlarge_gp3,
+    laptop,
+    profile,
+    raspberry_pi,
+    supercomputer_node,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "PashConfig", "PashOptimizer", "IncrementalOptimizer", "JashConfig",
+    "JashOptimizer", "CompositeOptimizer", "RunResult", "Shell",
+    "run_script", "MachineSpec", "PROFILES", "aws_c5_2xlarge_gp2",
+    "aws_c5_2xlarge_gp3", "laptop", "profile", "raspberry_pi",
+    "supercomputer_node", "__version__",
+]

@@ -1,0 +1,16 @@
+"""S5 — the PaSh/POSH-style command specification framework."""
+
+from .library import DEFAULT_LIBRARY, build_default_library
+from .model import (
+    AggKind,
+    Aggregator,
+    CommandSpec,
+    InstanceSpec,
+    ParClass,
+    SpecLibrary,
+)
+
+__all__ = [
+    "DEFAULT_LIBRARY", "build_default_library", "AggKind", "Aggregator",
+    "CommandSpec", "InstanceSpec", "ParClass", "SpecLibrary",
+]

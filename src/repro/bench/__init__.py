@@ -1,0 +1,19 @@
+"""S14 — benchmark harness: workload generators, machine profiles,
+engine runners, and report tables."""
+
+from .report import format_table, speedup
+from .runners import ENGINES, EngineRun, make_engine, run_engine, run_matrix, run_record_loop
+from .workloads import (
+    access_log,
+    java_temperature_program,
+    ncdc_records,
+    spell_documents,
+    words_text,
+)
+
+__all__ = [
+    "format_table", "speedup", "ENGINES", "EngineRun", "make_engine",
+    "run_engine", "run_matrix", "run_record_loop", "access_log",
+    "java_temperature_program", "ncdc_records", "spell_documents",
+    "words_text",
+]

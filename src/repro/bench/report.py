@@ -1,0 +1,36 @@
+"""Tiny fixed-width table reporting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+def format_table(headers: list[str], rows: Iterable[Iterable[object]],
+                 title: Optional[str] = None) -> str:
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def speedup(baseline: float, value: float) -> str:
+    if value <= 0:
+        return "inf"
+    return f"{baseline / value:.2f}x"

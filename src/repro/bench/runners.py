@@ -1,0 +1,99 @@
+"""Engine runners and the record-loop baseline for the bench suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..commands.base import PROC_STARTUP
+from ..compiler import PashConfig, PashOptimizer
+from ..jit import JashConfig, JashOptimizer
+from ..shell import RunResult, Shell
+from ..vos.machines import MachineSpec
+
+ENGINES = ("bash", "pash", "jash")
+
+
+@dataclass
+class EngineRun:
+    engine: str
+    machine: str
+    result: RunResult
+    optimizer: object = None
+    shell: object = None  # the Shell (and its fs) the run executed on
+
+    @property
+    def elapsed(self) -> float:
+        return self.result.elapsed
+
+
+def make_engine(engine: str, pash_width: int = 8):
+    """The optimizer hook (or None) implementing an engine."""
+    if engine == "bash":
+        return None
+    if engine == "pash":
+        return PashOptimizer(PashConfig(width=pash_width))
+    if engine == "jash":
+        return JashOptimizer()
+    raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
+
+
+def run_engine(engine: str, script: str, machine: MachineSpec,
+               files: Optional[dict[str, bytes]] = None,
+               args: Optional[list[str]] = None,
+               env: Optional[dict[str, str]] = None,
+               pash_width: int = 8) -> EngineRun:
+    """One fresh machine, one engine, one script."""
+    optimizer = make_engine(engine, pash_width)
+    shell = Shell(machine, optimizer=optimizer)
+    for path, data in (files or {}).items():
+        shell.fs.write_bytes(path, data)
+    result = shell.run(script, args=args, env=env)
+    return EngineRun(engine, machine.name, result, optimizer, shell)
+
+
+def run_matrix(script: str, machines: dict[str, MachineSpec],
+               engines: tuple[str, ...] = ENGINES,
+               files: Optional[dict[str, bytes]] = None,
+               args: Optional[list[str]] = None,
+               env: Optional[dict[str, str]] = None,
+               pash_width: int = 8) -> dict[tuple[str, str], EngineRun]:
+    """engine × machine grid of runs, fresh machine each."""
+    out: dict[tuple[str, str], EngineRun] = {}
+    for mname, machine in machines.items():
+        for engine in engines:
+            out[(engine, mname)] = run_engine(
+                engine, script, machine, files=files, args=args, env=env,
+                pash_width=pash_width,
+            )
+    return out
+
+
+def run_record_loop(source: str, data: bytes, machine: MachineSpec,
+                    cpu_per_line: float = 1.1e-6) -> tuple[object, float]:
+    """Run a record-at-a-time program (the 'Java-equivalent' baseline of
+    §2.1) over ``data`` on the vOS, charging per-record CPU comparable
+    to a JVM record loop plus the input IO.
+
+    Returns (program result, virtual seconds).
+    """
+    namespace: dict = {}
+    exec(compile(source, "<record-loop>", "exec"), namespace)
+    run = namespace["run"]
+
+    kernel = machine.make_kernel()
+    kernel.main_node.fs.write_bytes("/input.dat", data)
+    box: dict = {}
+
+    def body(proc):
+        yield from proc.cpu(PROC_STARTUP * 25)  # JVM-ish startup
+        fd = yield from proc.open("/input.dat", "r")
+        raw = yield from proc.read_all(fd)
+        lines = raw.decode("utf-8", "replace").splitlines()
+        yield from proc.cpu(len(lines) * cpu_per_line / machine.cpu_speed)
+        box["answer"] = run(lines)
+        return 0
+
+    root = kernel.create_process(body, "record-loop")
+    kernel.run_until_process_done(root)
+    return box.get("answer"), kernel.now

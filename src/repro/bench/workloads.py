@@ -1,0 +1,190 @@
+"""Deterministic workload generators for the benchmark suite.
+
+Every generator takes a target size and a seed so benches are
+reproducible; sizes default to laptop-friendly scales of the paper's
+workloads (the 3 GB Figure 1 input becomes 48 MB — the ratios between
+engines, which is what the figure shows, are preserved; see DESIGN.md
+§4 Substitutions).
+"""
+
+from __future__ import annotations
+
+import random
+
+#: vocabulary for word-sort workloads: Zipf-ish mix of common words
+_VOCAB = (
+    "the of and to in a is that it was for on are as with his they at be "
+    "this have from or had by hot word but what some we can out other were "
+    "all there when up use your how said an each she which do their time "
+    "apple banana cherry damson elderberry fig grape huckleberry imbe "
+    "jackfruit kiwi lemon mango nectarine orange papaya quince raspberry "
+    "strawberry tangerine ugli vanilla watermelon xigua yuzu zucchini"
+).split()
+
+
+def words_text(n_bytes: int, seed: int = 42, words_per_line: int = 9) -> bytes:
+    """Multi-line text of whitespace-separated words (Figure 1 input)."""
+    rng = random.Random(seed)
+    out: list[str] = []
+    size = 0
+    row: list[str] = []
+    while size < n_bytes:
+        word = rng.choice(_VOCAB)
+        row.append(word)
+        size += len(word) + 1
+        if len(row) >= words_per_line:
+            out.append(" ".join(row))
+            row = []
+    if row:
+        out.append(" ".join(row))
+    return ("\n".join(out) + "\n").encode()
+
+
+def ncdc_records(n_records: int, seed: int = 7) -> bytes:
+    """NCDC-style fixed-width weather records (the §2.1 temperature
+    workload from 'Hadoop: The Definitive Guide').
+
+    Temperature is at columns 89-92 (1-based), sign at 88, quality at 93;
+    ~5% of records carry the 9999 missing-value marker.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n_records):
+        station = f"{rng.randrange(10_000, 99_999):05d}"
+        year = rng.choice(["1949", "1950", "1951", "1952"])
+        if rng.random() < 0.05:
+            temp = "9999"
+        else:
+            temp = f"{rng.randrange(0, 600):04d}"
+        # the 48-char pipeline reads the unsigned digits at columns
+        # 89-92, so the generator emits positive temperatures only
+        sign = "+"
+        prefix = f"0029{station}99999{year}0515120049999999N9" .ljust(87, "0")
+        row = (prefix[:87] + sign + temp + "1").ljust(105, "9")
+        rows.append(row)
+    return ("\n".join(rows) + "\n").encode()
+
+
+def access_log(n_lines: int, seed: int = 11, error_rate: float = 0.08) -> bytes:
+    """Web-server-ish access log for grep/wc workloads."""
+    rng = random.Random(seed)
+    hosts = [f"10.0.{rng.randrange(256)}.{rng.randrange(256)}" for _ in range(64)]
+    paths = [f"/api/v1/resource/{i}" for i in range(40)]
+    rows = []
+    for i in range(n_lines):
+        status = 500 if rng.random() < error_rate else rng.choice([200, 200, 200, 301, 404])
+        rows.append(
+            f"{rng.choice(hosts)} - - [15/Mar/2021:10:{i % 60:02d}:00] "
+            f'"GET {rng.choice(paths)} HTTP/1.1" {status} {rng.randrange(200, 40000)}'
+        )
+    return ("\n".join(rows) + "\n").encode()
+
+
+def spell_documents(n_docs: int, bytes_per_doc: int, seed: int = 23,
+                    typo_rate: float = 0.02) -> tuple[dict[str, bytes], bytes]:
+    """(documents, dictionary) for the §3.2 spell workload: documents
+    with injected typos plus a sorted dictionary of the clean vocabulary."""
+    rng = random.Random(seed)
+    dictionary = sorted(set(w.lower() for w in _VOCAB))
+
+    def typo(word: str) -> str:
+        if len(word) < 3:
+            return word + "x"
+        i = rng.randrange(len(word) - 1)
+        return word[:i] + word[i + 1] + word[i] + word[i + 2:]
+
+    docs: dict[str, bytes] = {}
+    for d in range(n_docs):
+        lines: list[str] = []
+        row: list[str] = []
+        size = 0
+        while size < bytes_per_doc:
+            word = rng.choice(_VOCAB)
+            if rng.random() < typo_rate:
+                word = typo(word)
+            if rng.random() < 0.3:
+                word = word.capitalize()
+            row.append(word)
+            size += len(word) + 1
+            if len(row) >= 12:
+                lines.append(" ".join(row))
+                row = []
+        if row:
+            lines.append(" ".join(row))
+        docs[f"/docs/doc{d}.txt"] = ("\n".join(lines) + "\n").encode()
+    return docs, ("\n".join(dictionary) + "\n").encode()
+
+
+def java_temperature_program() -> str:
+    """A line-by-line 'Java-equivalent' temperature-analysis program
+    (the ~100-line record loop of White's Hadoop book, transliterated).
+    Returned as Python source for repro.bench.runners.run_record_loop."""
+    return JAVA_EQUIVALENT_SOURCE
+
+
+#: The straight-line record-at-a-time program the paper contrasts with
+#: the 48-character pipeline.  Port of MaxTemperature{,Mapper,Reducer}
+#: from White's book, chapter 2 — structured the way the Java original
+#: is (parser class, mapper, reducer, driver), totalling ~100 lines.
+JAVA_EQUIVALENT_SOURCE = '''\
+MISSING = 9999
+
+
+class NcdcRecordParser:
+    """Parses a fixed-width NCDC record (Java: NcdcRecordParser.java)."""
+
+    def __init__(self):
+        self.air_temperature = None
+        self.quality = None
+
+    def parse(self, record):
+        if len(record) < 93:
+            self.air_temperature = MISSING
+            self.quality = "0"
+            return
+        sign = record[87]
+        if sign in ("+", "-"):
+            text = record[88:92]
+        else:
+            text = record[87:92]
+        try:
+            value = int(text)
+        except ValueError:
+            value = MISSING
+        if sign == "-":
+            value = -value
+        self.air_temperature = value
+        self.quality = record[92:93]
+
+    def is_valid(self):
+        return (self.air_temperature != MISSING
+                and self.quality in ("0", "1", "4", "5", "9"))
+
+
+class MaxTemperatureMapper:
+    def __init__(self):
+        self.parser = NcdcRecordParser()
+
+    def map(self, line, collector):
+        self.parser.parse(line)
+        if self.parser.is_valid():
+            collector.append(self.parser.air_temperature)
+
+
+class MaxTemperatureReducer:
+    def reduce(self, values):
+        max_value = None
+        for value in values:
+            if max_value is None or value > max_value:
+                max_value = value
+        return max_value
+
+
+def run(lines):
+    mapper = MaxTemperatureMapper()
+    reducer = MaxTemperatureReducer()
+    collector = []
+    for line in lines:
+        mapper.map(line, collector)
+    return reducer.reduce(collector)
+'''

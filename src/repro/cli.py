@@ -1,0 +1,138 @@
+"""Command-line front end: ``jash``.
+
+Subcommands::
+
+    jash run SCRIPT.sh [--engine bash|pash|jash] [--machine PROFILE]
+    jash -c 'cat f | sort'                  # run inline
+    jash lint SCRIPT.sh                     # static diagnostics
+    jash explain 'cut -c1-4 | sort -rn'     # spec-backed explanation
+    jash parse -c 'if true; then echo x; fi'  # AST dump
+    jash infer sort -rn                     # black-box spec inference
+
+Scripts run on the *virtual* OS; use --file HOST:VIRT to load inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.runners import make_engine
+from .shell import Shell
+from .vos.machines import PROFILES, profile
+
+
+def main(argv=None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        return 141  # stdout consumer went away (e.g. `jash ... | head`)
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="jash", description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    run_p = sub.add_parser("run", help="run a script on the virtual OS")
+    run_p.add_argument("script", nargs="?", help="script file (host path)")
+    run_p.add_argument("-c", dest="inline", help="inline script text")
+    run_p.add_argument("--engine", choices=("bash", "pash", "jash"),
+                       default="jash")
+    run_p.add_argument("--machine", choices=sorted(PROFILES), default="laptop")
+    run_p.add_argument("--file", action="append", default=[],
+                       metavar="HOST:VIRT",
+                       help="copy a host file into the virtual fs")
+    run_p.add_argument("--report", action="store_true",
+                       help="print the optimizer's decisions afterwards")
+
+    lint_p = sub.add_parser("lint", help="static analysis of a script")
+    lint_p.add_argument("script", nargs="?")
+    lint_p.add_argument("-c", dest="inline")
+
+    explain_p = sub.add_parser("explain", help="explain a pipeline")
+    explain_p.add_argument("pipeline")
+
+    tutor_p = sub.add_parser("tutor", help="review a script with guidance")
+    tutor_p.add_argument("script", nargs="?")
+    tutor_p.add_argument("-c", dest="inline")
+
+    parse_p = sub.add_parser("parse", help="dump the AST")
+    parse_p.add_argument("script", nargs="?")
+    parse_p.add_argument("-c", dest="inline")
+
+    infer_p = sub.add_parser("infer", help="infer a command's spec")
+    infer_p.add_argument("argv", nargs="+")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "run":
+        text = _script_text(args)
+        machine = profile(args.machine)
+        optimizer = make_engine(args.engine)
+        shell = Shell(machine, optimizer=optimizer)
+        for spec in args.file:
+            host, _, virt = spec.partition(":")
+            with open(host, "rb") as fh:
+                shell.fs.write_bytes(virt or "/" + host, fh.read())
+        result = shell.run(text)
+        sys.stdout.write(result.out)
+        sys.stderr.write(result.err)
+        print(f"[virtual time: {result.elapsed:.4f}s on {machine.name}]",
+              file=sys.stderr)
+        if args.report and optimizer is not None and hasattr(optimizer, "report"):
+            print(optimizer.report(), file=sys.stderr)
+        return result.status
+
+    if args.cmd == "lint":
+        from .lint import lint
+
+        text = _script_text(args)
+        diagnostics = lint(text)
+        for diag in diagnostics:
+            print(diag)
+        return 1 if any(d.severity == "error" for d in diagnostics) else 0
+
+    if args.cmd == "explain":
+        from .lint import explain
+
+        print(explain(args.pipeline))
+        return 0
+
+    if args.cmd == "tutor":
+        from .lint import tutor
+
+        print(tutor(_script_text(args)).render())
+        return 0
+
+    if args.cmd == "parse":
+        from .parser import parse
+
+        print(parse(_script_text(args)))
+        return 0
+
+    if args.cmd == "infer":
+        from .annotations.inference import infer
+
+        result = infer(args.argv)
+        print(f"{' '.join(args.argv)}: {result.par_class.value}")
+        if result.aggregator is not None:
+            agg = result.aggregator
+            print(f"  aggregator: {agg.kind.value} {' '.join(agg.argv)}")
+        for line in result.evidence:
+            print(f"  evidence: {line}")
+        return 0
+
+    return 2
+
+
+def _script_text(args) -> str:
+    if getattr(args, "inline", None):
+        return args.inline
+    if getattr(args, "script", None):
+        with open(args.script, "r") as fh:
+            return fh.read()
+    return sys.stdin.read()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+"""Command infrastructure: registry, streaming helpers, CPU cost table.
+
+A command is a generator function ``run(proc, argv) -> int`` executed as a
+vOS process body.  Commands stream: they read chunks, charge CPU work
+proportional to bytes/lines handled (coefficients below), and write
+incrementally, so pipeline stages overlap and backpressure applies — the
+properties the paper's G2 ("stream processing") celebrates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..vos.process import CHUNK, Process
+
+# ---------------------------------------------------------------------------
+# CPU cost coefficients (reference-CPU seconds)
+# ---------------------------------------------------------------------------
+
+#: seconds of CPU per byte processed, per command family.  Derived from
+#: rough GNU coreutils throughputs on one core: cat moves ~1 GB/s, tr ~150
+#: MB/s, grep ~250 MB/s, sort ~30 MB/s (comparison dominated).
+CPU_PER_BYTE = {
+    "cat": 1.0e-9,
+    "tee": 1.2e-9,
+    "tr": 6.5e-9,
+    "grep": 4.0e-9,
+    "cut": 5.0e-9,
+    "wc": 2.5e-9,
+    "head": 0.8e-9,
+    "tail": 0.8e-9,
+    "uniq": 3.0e-9,
+    "comm": 3.5e-9,
+    "sed": 7.0e-9,
+    "sort": 9.0e-9,  # plus per-comparison cost below
+    "join": 4.0e-9,
+    "paste": 2.0e-9,
+    "rev": 3.0e-9,
+    "shuf": 4.0e-9,
+    "seq": 1.5e-9,
+    "split": 1.2e-9,
+    "xargs": 2.0e-9,
+    "default": 2.0e-9,
+}
+
+#: extra cost per line-comparison for sorting (n log n term).
+SORT_CMP_COST = 120e-9
+
+#: fixed process start-up cost (fork+exec analogue).
+PROC_STARTUP = 0.002
+
+
+def cpu_coeff(name: str) -> float:
+    return CPU_PER_BYTE.get(name, CPU_PER_BYTE["default"])
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+CommandFn = Callable  # (proc, argv) -> generator returning int
+
+REGISTRY: dict[str, CommandFn] = {}
+
+
+def command(name: str):
+    """Decorator registering a command implementation under ``name``."""
+
+    def wrap(fn: CommandFn) -> CommandFn:
+        REGISTRY[name] = fn
+        fn.command_name = name
+        return fn
+
+    return wrap
+
+
+def lookup(name: str) -> Optional[CommandFn]:
+    return REGISTRY.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Streaming helpers (sub-generators used with `yield from`)
+# ---------------------------------------------------------------------------
+
+
+class LineStream:
+    """Incremental line reader over an fd.
+
+    ``line = yield from stream.next_line()`` returns one line (with its
+    newline, except possibly the last) or None at EOF.
+    """
+
+    def __init__(self, proc: Process, fd: int, chunk: int = CHUNK):
+        self.proc = proc
+        self.fd = fd
+        self.chunk = chunk
+        self._buf = bytearray()
+        self._eof = False
+        self._lines: list[bytes] = []  # parsed, pending delivery
+
+    def next_line(self):
+        while not self._lines:
+            if self._eof:
+                return None
+            data = yield from self.proc.read(self.fd, self.chunk)
+            if not data:
+                self._eof = True
+                if self._buf:
+                    self._lines.append(bytes(self._buf))
+                    self._buf.clear()
+                break
+            self._buf.extend(data)
+            if b"\n" in data:
+                *complete, rest = self._buf.split(b"\n")
+                self._lines.extend(line + b"\n" for line in complete)
+                self._buf = bytearray(rest)
+        if self._lines:
+            return self._lines.pop(0)
+        return None
+
+    def next_batch(self):
+        """Return all currently-buffered complete lines plus at least one
+        read's worth; None at EOF.  Cheaper than line-at-a-time."""
+        if not self._lines and not self._eof:
+            data = yield from self.proc.read(self.fd, self.chunk)
+            if not data:
+                self._eof = True
+                if self._buf:
+                    self._lines.append(bytes(self._buf))
+                    self._buf.clear()
+            else:
+                self._buf.extend(data)
+                if b"\n" in self._buf:
+                    *complete, rest = self._buf.split(b"\n")
+                    self._lines.extend(line + b"\n" for line in complete)
+                    self._buf = bytearray(rest)
+        if self._lines:
+            batch, self._lines = self._lines, []
+            return batch
+        if self._eof:
+            return None
+        return []
+
+
+class OutBuf:
+    """Buffered writer: accumulates bytes, flushes in CHUNK units."""
+
+    def __init__(self, proc: Process, fd: int, threshold: int = CHUNK):
+        self.proc = proc
+        self.fd = fd
+        self.threshold = threshold
+        self._chunks: list[bytes] = []
+        self._size = 0
+
+    def put(self, data: bytes):
+        if not data:
+            return
+        self._chunks.append(data)
+        self._size += len(data)
+        if self._size >= self.threshold:
+            yield from self.flush()
+
+    def put_lines(self, lines: Iterable[bytes]):
+        for line in lines:
+            self._chunks.append(line)
+            self._size += len(line)
+        if self._size >= self.threshold:
+            yield from self.flush()
+
+    def flush(self):
+        if self._chunks:
+            data = b"".join(self._chunks)
+            self._chunks = []
+            self._size = 0
+            yield from self.proc.write(self.fd, data)
+
+
+def write_err(proc: Process, message: str):
+    """Write an error line to stderr (fd 2), tolerating a missing fd."""
+    if 2 in proc.fds:
+        yield from proc.write(2, message.encode() + b"\n")
+
+
+def open_input(proc: Process, path: str):
+    """Open an input operand, honouring the '-' (stdin) convention.
+    Returns (fd, needs_close)."""
+    if path == "-":
+        return 0, False
+    fd = yield from proc.open(path, "r")
+    return fd, True
+
+
+class UsageError(Exception):
+    """Bad command-line arguments; commands exit 2."""
+
+
+def parse_flags(argv: list[str], flags: str, with_value: str = "") -> tuple[dict, list[str]]:
+    """Minimal POSIX-style option parser.
+
+    ``flags`` are boolean single-letter options; ``with_value`` options
+    take an argument (attached or following).  Returns (options, operands).
+    Combined clusters (``-rn``) and ``--`` are supported, as are the
+    historical ``-NUM`` forms when 'NUM' is in with_value as '#'.
+    """
+    opts: dict = {}
+    operands: list[str] = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--":
+            operands.extend(argv[i + 1 :])
+            break
+        if arg.startswith("-") and arg != "-" and len(arg) > 1:
+            if "#" in with_value and arg[1:].isdigit():
+                opts["#"] = arg[1:]
+                i += 1
+                continue
+            j = 1
+            while j < len(arg):
+                ch = arg[j]
+                if ch in flags:
+                    opts[ch] = True
+                    j += 1
+                elif ch in with_value:
+                    value = arg[j + 1 :]
+                    if not value:
+                        i += 1
+                        if i >= len(argv):
+                            raise UsageError(f"option -{ch} requires an argument")
+                        value = argv[i]
+                    opts[ch] = value
+                    break
+                else:
+                    raise UsageError(f"unknown option -{ch}")
+            i += 1
+        else:
+            operands.append(arg)
+            i += 1
+    return opts, operands

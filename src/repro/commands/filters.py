@@ -1,0 +1,598 @@
+"""Streaming filters: tr, grep, cut, sed, wc, rev, paste, nl, tac."""
+
+from __future__ import annotations
+
+import re
+
+from ..vos.process import CHUNK, Process
+from .base import (
+    LineStream,
+    OutBuf,
+    UsageError,
+    command,
+    cpu_coeff,
+    open_input,
+    parse_flags,
+    write_err,
+)
+
+# ---------------------------------------------------------------------------
+# tr
+# ---------------------------------------------------------------------------
+
+_TR_CLASSES = {
+    "alpha": "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    "digit": "0123456789",
+    "alnum": "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789",
+    "lower": "abcdefghijklmnopqrstuvwxyz",
+    "upper": "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    "space": " \t\n\r\v\f",
+    "blank": " \t",
+    "punct": r"""!"#$%&'()*+,-./:;<=>?@[\]^_`{|}~""",
+}
+
+_TR_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "a": "\a", "b": "\b",
+               "f": "\f", "v": "\v", "0": "\0"}
+
+
+def parse_tr_set(spec: str) -> bytes:
+    """Expand a tr set spec: literals, escapes, a-z ranges, [:class:]."""
+    out: list[str] = []
+    i = 0
+    while i < len(spec):
+        if spec.startswith("[:", i):
+            end = spec.find(":]", i + 2)
+            if end < 0:
+                raise UsageError(f"unterminated character class in {spec!r}")
+            cls = spec[i + 2 : end]
+            if cls not in _TR_CLASSES:
+                raise UsageError(f"unknown character class [:{cls}:]")
+            out.append(_TR_CLASSES[cls])
+            i = end + 2
+            continue
+        c = spec[i]
+        if c == "\\" and i + 1 < len(spec):
+            nxt = spec[i + 1]
+            out.append(_TR_ESCAPES.get(nxt, nxt))
+            i += 2
+            continue
+        # range a-z (the '-' must be flanked)
+        if i + 2 < len(spec) and spec[i + 1] == "-" and spec[i + 2] != "]":
+            lo, hi = ord(c), ord(spec[i + 2])
+            if lo > hi:
+                raise UsageError(f"invalid range {c}-{spec[i+2]}")
+            out.append("".join(chr(x) for x in range(lo, hi + 1)))
+            i += 3
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out).encode("latin-1")
+
+
+@command("tr")
+def tr(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "cCsd")
+    except UsageError as err:
+        yield from write_err(proc, f"tr: {err}")
+        return 2
+    complement = bool(opts.get("c") or opts.get("C"))
+    squeeze = bool(opts.get("s"))
+    delete = bool(opts.get("d"))
+    try:
+        if delete:
+            if len(operands) != (2 if squeeze else 1):
+                raise UsageError("wrong number of operands for -d")
+            set1 = parse_tr_set(operands[0])
+            set2 = parse_tr_set(operands[1]) if squeeze else b""
+        elif squeeze and len(operands) == 1:
+            set1 = parse_tr_set(operands[0])
+            set2 = b""
+        else:
+            if len(operands) != 2:
+                raise UsageError("missing operand")
+            set1 = parse_tr_set(operands[0])
+            set2 = parse_tr_set(operands[1])
+    except UsageError as err:
+        yield from write_err(proc, f"tr: {err}")
+        return 2
+
+    members = bytearray(256)
+    for b in set1:
+        members[b] = 1
+    if complement:
+        members = bytearray(0 if m else 1 for m in members)
+
+    table = None
+    squeeze_set = b""
+    delete_table = None
+    if delete:
+        delete_table = bytes(b for b in range(256) if not members[b])
+        squeeze_set = set2
+    elif squeeze and not set2:
+        squeeze_set = bytes(b for b in range(256) if members[b])
+    else:
+        # translation: members of set1 (in order; complement = ascending
+        # order) map to set2 padded with its last char
+        src = (bytes(b for b in range(256) if members[b]) if complement
+               else set1)
+        padded = set2 + set2[-1:] * max(0, len(src) - len(set2)) if set2 else b""
+        table = bytearray(range(256))
+        for i, b in enumerate(src):
+            if i < len(padded):
+                table[b] = padded[i]
+        squeeze_set = set2 if squeeze else b""
+
+    coeff = cpu_coeff("tr")
+    last_byte = -1
+    while True:
+        data = yield from proc.read(0, CHUNK)
+        if not data:
+            break
+        yield from proc.cpu(len(data) * coeff)
+        if delete_table is not None:
+            data = data.translate(None, bytes(b for b in range(256) if members[b]))
+        elif table is not None:
+            data = data.translate(bytes(table))
+        if squeeze_set:
+            squeezed = bytearray()
+            prev = last_byte
+            for b in data:
+                if b == prev and b in squeeze_set:
+                    continue
+                squeezed.append(b)
+                prev = b
+            last_byte = prev
+            data = bytes(squeezed)
+        yield from proc.write(1, data)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# grep
+# ---------------------------------------------------------------------------
+
+
+@command("grep")
+def grep(proc: Process, argv: list[str]):
+    """grep [-vicnqF] [-m NUM] [-e PATTERN] [PATTERN] [FILE...].
+
+    Patterns are interpreted with Python's `re` (a documented superset of
+    POSIX BRE for the fragment our corpus uses).
+    """
+    try:
+        opts, operands = parse_flags(argv, "vicnqFlx", with_value="em")
+    except UsageError as err:
+        yield from write_err(proc, f"grep: {err}")
+        return 2
+    if "e" in opts:
+        pattern = opts["e"]
+    elif operands:
+        pattern = operands.pop(0)
+    else:
+        yield from write_err(proc, "grep: missing pattern")
+        return 2
+    flags = re.IGNORECASE if opts.get("i") else 0
+    if opts.get("F"):
+        regex = re.compile(re.escape(pattern).encode(), flags)
+    else:
+        try:
+            regex = re.compile(pattern.encode(), flags)
+        except re.error as err:
+            yield from write_err(proc, f"grep: bad pattern: {err}")
+            return 2
+    invert = bool(opts.get("v"))
+    count_only = bool(opts.get("c"))
+    quiet = bool(opts.get("q"))
+    number = bool(opts.get("n"))
+    whole_line = bool(opts.get("x"))
+    max_count = int(opts["m"]) if "m" in opts else None
+
+    files = operands or ["-"]
+    multi = len(files) > 1
+    coeff = cpu_coeff("grep")
+    overall_match = False
+    for path in files:
+        try:
+            fd, needs_close = yield from open_input(proc, path)
+        except Exception:
+            yield from write_err(proc, f"grep: {path}: No such file or directory")
+            continue
+        stream = LineStream(proc, fd)
+        out = OutBuf(proc, 1)
+        lineno = 0
+        matches = 0
+        while True:
+            batch = yield from stream.next_batch()
+            if batch is None:
+                break
+            if not batch:
+                continue
+            yield from proc.cpu(sum(len(l) for l in batch) * coeff)
+            for line in batch:
+                lineno += 1
+                body = line.rstrip(b"\n")
+                if whole_line:
+                    m = regex.fullmatch(body)
+                else:
+                    m = regex.search(body)
+                hit = bool(m) != invert
+                if not hit:
+                    continue
+                matches += 1
+                overall_match = True
+                if quiet:
+                    return 0
+                if not count_only:
+                    prefix = b""
+                    if multi:
+                        prefix += path.encode() + b":"
+                    if number:
+                        prefix += str(lineno).encode() + b":"
+                    yield from out.put(prefix + line if line.endswith(b"\n") else prefix + line + b"\n")
+                if max_count is not None and matches >= max_count:
+                    break
+            if max_count is not None and matches >= max_count:
+                break
+        if count_only:
+            prefix = (path.encode() + b":") if multi else b""
+            yield from out.put(prefix + str(matches).encode() + b"\n")
+        yield from out.flush()
+        if needs_close:
+            yield from proc.close(fd)
+    return 0 if overall_match else 1
+
+
+# ---------------------------------------------------------------------------
+# cut
+# ---------------------------------------------------------------------------
+
+
+def parse_cut_list(spec: str) -> list[tuple[int, int]]:
+    """Parse a cut LIST: 1, 1-3, -3, 5- (1-based, inclusive)."""
+    ranges: list[tuple[int, int]] = []
+    for piece in spec.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if "-" in piece:
+            lo_s, hi_s = piece.split("-", 1)
+            lo = int(lo_s) if lo_s else 1
+            hi = int(hi_s) if hi_s else 10**9
+        else:
+            lo = hi = int(piece)
+        if lo < 1 or hi < lo:
+            raise UsageError(f"invalid range {piece!r}")
+        ranges.append((lo, hi))
+    if not ranges:
+        raise UsageError("empty list")
+    return ranges
+
+
+@command("cut")
+def cut(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "s", with_value="cfd")
+    except UsageError as err:
+        yield from write_err(proc, f"cut: {err}")
+        return 2
+    if ("c" in opts) == ("f" in opts):
+        yield from write_err(proc, "cut: specify exactly one of -c or -f")
+        return 2
+    try:
+        ranges = parse_cut_list(opts.get("c") or opts.get("f"))
+    except (UsageError, ValueError) as err:
+        yield from write_err(proc, f"cut: {err}")
+        return 2
+    by_chars = "c" in opts
+    delim = opts.get("d", "\t").encode()[:1] or b"\t"
+    only_delimited = bool(opts.get("s"))
+    coeff = cpu_coeff("cut")
+
+    files = operands or ["-"]
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        stream = LineStream(proc, fd)
+        out = OutBuf(proc, 1)
+        while True:
+            batch = yield from stream.next_batch()
+            if batch is None:
+                break
+            if not batch:
+                continue
+            yield from proc.cpu(sum(len(l) for l in batch) * coeff)
+            results = []
+            for line in batch:
+                body = line.rstrip(b"\n")
+                if by_chars:
+                    picked = b"".join(body[lo - 1 : hi] for lo, hi in ranges)
+                else:
+                    if delim not in body:
+                        if only_delimited:
+                            continue
+                        picked = body
+                    else:
+                        fields = body.split(delim)
+                        picked_fields: list[bytes] = []
+                        for lo, hi in ranges:
+                            picked_fields.extend(fields[lo - 1 : hi])
+                        picked = delim.join(picked_fields)
+                results.append(picked + b"\n")
+            yield from out.put_lines(results)
+        yield from out.flush()
+        if needs_close:
+            yield from proc.close(fd)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# sed (restricted)
+# ---------------------------------------------------------------------------
+
+
+class _SedCmd:
+    def __init__(self, kind: str, regex=None, repl: bytes = b"", global_: bool = False,
+                 print_: bool = False):
+        self.kind = kind  # "s" | "d" | "p" | "q"
+        self.regex = regex
+        self.repl = repl
+        self.global_ = global_
+        self.print_ = print_
+
+
+def parse_sed_script(script: str) -> list[_SedCmd]:
+    """Supported: ``s<sep>re<sep>repl<sep>[gp]``, ``/re/d``, ``/re/p``, ``q``."""
+    cmds: list[_SedCmd] = []
+    for piece in script.split(";"):
+        piece = piece.strip()
+        if not piece:
+            continue
+        if piece == "q":
+            cmds.append(_SedCmd("q"))
+        elif piece.startswith("s") and len(piece) > 1:
+            sep = piece[1]
+            parts = re.split(r"(?<!\\)" + re.escape(sep), piece[2:])
+            if len(parts) < 2:
+                raise UsageError(f"bad s command {piece!r}")
+            pat, repl = parts[0], parts[1]
+            flags = parts[2] if len(parts) > 2 else ""
+            regex = re.compile(pat.encode())
+            # sed's \1 and & live in the replacement; translate to re syntax
+            py_repl = re.sub(r"(?<!\\)&", r"\\g<0>", repl).encode()
+            py_repl = py_repl.replace(b"\\" + sep.encode(), sep.encode())
+            cmds.append(
+                _SedCmd("s", regex, py_repl, global_="g" in flags, print_="p" in flags)
+            )
+        elif piece.startswith("/"):
+            end = piece.find("/", 1)
+            if end < 0:
+                raise UsageError(f"bad address {piece!r}")
+            regex = re.compile(piece[1:end].encode())
+            action = piece[end + 1 :].strip()
+            if action == "d":
+                cmds.append(_SedCmd("d", regex))
+            elif action == "p":
+                cmds.append(_SedCmd("p", regex))
+            else:
+                raise UsageError(f"unsupported sed action {action!r}")
+        else:
+            raise UsageError(f"unsupported sed command {piece!r}")
+    return cmds
+
+
+@command("sed")
+def sed(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "n", with_value="e")
+    except UsageError as err:
+        yield from write_err(proc, f"sed: {err}")
+        return 2
+    script_text = opts.get("e")
+    if script_text is None:
+        if not operands:
+            yield from write_err(proc, "sed: missing script")
+            return 2
+        script_text = operands.pop(0)
+    try:
+        cmds = parse_sed_script(script_text)
+    except (UsageError, re.error) as err:
+        yield from write_err(proc, f"sed: {err}")
+        return 2
+    auto_print = not opts.get("n")
+    coeff = cpu_coeff("sed")
+
+    files = operands or ["-"]
+    quit_now = False
+    for path in files:
+        if quit_now:
+            break
+        fd, needs_close = yield from open_input(proc, path)
+        stream = LineStream(proc, fd)
+        out = OutBuf(proc, 1)
+        while not quit_now:
+            line = yield from stream.next_line()
+            if line is None:
+                break
+            yield from proc.cpu(len(line) * coeff)
+            body = line.rstrip(b"\n")
+            deleted = False
+            extra_prints: list[bytes] = []
+            for cmd in cmds:
+                if cmd.kind == "q":
+                    quit_now = True
+                elif cmd.kind == "d":
+                    if cmd.regex.search(body):
+                        deleted = True
+                        break
+                elif cmd.kind == "p":
+                    if cmd.regex.search(body):
+                        extra_prints.append(body + b"\n")
+                elif cmd.kind == "s":
+                    count = 0 if cmd.global_ else 1
+                    new_body, n = cmd.regex.subn(cmd.repl, body, count=count)
+                    if n and cmd.print_:
+                        extra_prints.append(new_body + b"\n")
+                    body = new_body
+            if not deleted:
+                if auto_print:
+                    yield from out.put(body + b"\n")
+                for extra in extra_prints:
+                    yield from out.put(extra)
+            elif not auto_print:
+                for extra in extra_prints:
+                    yield from out.put(extra)
+        yield from out.flush()
+        if needs_close:
+            yield from proc.close(fd)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# wc / rev / paste / tac / nl
+# ---------------------------------------------------------------------------
+
+
+@command("wc")
+def wc(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "lwc")
+    except UsageError as err:
+        yield from write_err(proc, f"wc: {err}")
+        return 2
+    show = [k for k in "lwc" if opts.get(k)] or ["l", "w", "c"]
+    coeff = cpu_coeff("wc")
+    files = operands or ["-"]
+    totals = {"l": 0, "w": 0, "c": 0}
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        counts = {"l": 0, "w": 0, "c": 0}
+        in_word = False
+        while True:
+            data = yield from proc.read(fd, CHUNK)
+            if not data:
+                break
+            yield from proc.cpu(len(data) * coeff)
+            counts["c"] += len(data)
+            counts["l"] += data.count(b"\n")
+            # word counting across chunk boundaries
+            for token in re.split(rb"(\s+)", data):
+                if not token:
+                    continue
+                if token.isspace():
+                    in_word = False
+                else:
+                    if not in_word:
+                        counts["w"] += 1
+                    in_word = True
+        for k in counts:
+            totals[k] += counts[k]
+        fields = [str(counts[k]) for k in show]
+        label = f" {path}" if path != "-" else ""
+        yield from proc.write(1, (" ".join(fields) + label).encode() + b"\n")
+        if needs_close:
+            yield from proc.close(fd)
+    if len(files) > 1:
+        fields = [str(totals[k]) for k in show]
+        yield from proc.write(1, (" ".join(fields) + " total").encode() + b"\n")
+    return 0
+
+
+@command("rev")
+def rev(proc: Process, argv: list[str]):
+    files = argv or ["-"]
+    coeff = cpu_coeff("rev")
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        stream = LineStream(proc, fd)
+        out = OutBuf(proc, 1)
+        while True:
+            batch = yield from stream.next_batch()
+            if batch is None:
+                break
+            if not batch:
+                continue
+            yield from proc.cpu(sum(len(l) for l in batch) * coeff)
+            yield from out.put_lines(
+                line.rstrip(b"\n")[::-1] + b"\n" for line in batch
+            )
+        yield from out.flush()
+        if needs_close:
+            yield from proc.close(fd)
+    return 0
+
+
+@command("tac")
+def tac(proc: Process, argv: list[str]):
+    files = argv or ["-"]
+    coeff = cpu_coeff("rev")
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        data = yield from proc.read_all(fd)
+        yield from proc.cpu(len(data) * coeff)
+        lines = data.splitlines(keepends=True)
+        if lines and not lines[-1].endswith(b"\n"):
+            lines[-1] += b"\n"
+        yield from proc.write(1, b"".join(reversed(lines)))
+        if needs_close:
+            yield from proc.close(fd)
+    return 0
+
+
+@command("paste")
+def paste(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "s", with_value="d")
+    except UsageError as err:
+        yield from write_err(proc, f"paste: {err}")
+        return 2
+    delim = opts.get("d", "\t").encode()[:1] or b"\t"
+    coeff = cpu_coeff("paste")
+    streams = []
+    closers = []
+    for path in operands or ["-"]:
+        fd, needs_close = yield from open_input(proc, path)
+        streams.append(LineStream(proc, fd))
+        if needs_close:
+            closers.append(fd)
+    out = OutBuf(proc, 1)
+    while True:
+        row: list[bytes] = []
+        all_eof = True
+        for stream in streams:
+            line = yield from stream.next_line()
+            if line is None:
+                row.append(b"")
+            else:
+                all_eof = False
+                row.append(line.rstrip(b"\n"))
+        if all_eof:
+            break
+        joined = delim.join(row) + b"\n"
+        yield from proc.cpu(len(joined) * coeff)
+        yield from out.put(joined)
+    yield from out.flush()
+    for fd in closers:
+        yield from proc.close(fd)
+    return 0
+
+
+@command("nl")
+def nl(proc: Process, argv: list[str]):
+    files = argv or ["-"]
+    n = 0
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        stream = LineStream(proc, fd)
+        out = OutBuf(proc, 1)
+        while True:
+            line = yield from stream.next_line()
+            if line is None:
+                break
+            n += 1
+            rendered = f"{n:6d}\t".encode() + line
+            yield from proc.cpu(len(rendered) * 2e-9)
+            yield from out.put(rendered)
+        yield from out.flush()
+        if needs_close:
+            yield from proc.close(fd)
+    return 0

@@ -1,0 +1,309 @@
+"""IO-oriented commands: cat, tee, head, tail, split, echo, printf, yes,
+true, false, sleep."""
+
+from __future__ import annotations
+
+from ..vos.process import CHUNK, Process
+from .base import (
+    LineStream,
+    OutBuf,
+    UsageError,
+    command,
+    cpu_coeff,
+    open_input,
+    parse_flags,
+    write_err,
+)
+
+
+@command("cat")
+def cat(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "u")
+    except UsageError as err:
+        yield from write_err(proc, f"cat: {err}")
+        return 2
+    files = operands or ["-"]
+    coeff = cpu_coeff("cat")
+    status = 0
+    for path in files:
+        try:
+            fd, needs_close = yield from open_input(proc, path)
+        except Exception:
+            yield from write_err(proc, f"cat: {path}: No such file or directory")
+            status = 1
+            continue
+        while True:
+            data = yield from proc.read(fd, CHUNK)
+            if not data:
+                break
+            yield from proc.cpu(len(data) * coeff)
+            yield from proc.write(1, data)
+        if needs_close:
+            yield from proc.close(fd)
+    return status
+
+
+@command("tee")
+def tee(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "a")
+    except UsageError as err:
+        yield from write_err(proc, f"tee: {err}")
+        return 2
+    mode = "a" if opts.get("a") else "w"
+    out_fds = []
+    for path in operands:
+        fd = yield from proc.open(path, mode)
+        out_fds.append(fd)
+    coeff = cpu_coeff("tee")
+    while True:
+        data = yield from proc.read(0, CHUNK)
+        if not data:
+            break
+        yield from proc.cpu(len(data) * coeff)
+        yield from proc.write(1, data)
+        for fd in out_fds:
+            yield from proc.write(fd, data)
+    return 0
+
+
+def _parse_count(opts: dict, default_lines: int = 10) -> tuple[str, int]:
+    """head/tail count parsing: -n N, -c N, historic -N."""
+    if "c" in opts:
+        return "bytes", int(opts["c"])
+    if "n" in opts:
+        return "lines", int(opts["n"])
+    if "#" in opts:
+        return "lines", int(opts["#"])
+    return "lines", default_lines
+
+
+@command("head")
+def head(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "q", with_value="nc#")
+        unit, count = _parse_count(opts)
+    except (UsageError, ValueError) as err:
+        yield from write_err(proc, f"head: {err}")
+        return 2
+    files = operands or ["-"]
+    coeff = cpu_coeff("head")
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        if unit == "bytes":
+            remaining = count
+            while remaining > 0:
+                data = yield from proc.read(fd, min(CHUNK, remaining))
+                if not data:
+                    break
+                yield from proc.cpu(len(data) * coeff)
+                yield from proc.write(1, data)
+                remaining -= len(data)
+        else:
+            stream = LineStream(proc, fd)
+            emitted = 0
+            while emitted < count:
+                line = yield from stream.next_line()
+                if line is None:
+                    break
+                yield from proc.cpu(len(line) * coeff)
+                yield from proc.write(1, line)
+                emitted += 1
+        if needs_close:
+            yield from proc.close(fd)
+    return 0
+
+
+@command("tail")
+def tail(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "q", with_value="nc#")
+        unit, count = _parse_count(opts)
+    except (UsageError, ValueError) as err:
+        yield from write_err(proc, f"tail: {err}")
+        return 2
+    files = operands or ["-"]
+    coeff = cpu_coeff("tail")
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        data = yield from proc.read_all(fd)
+        yield from proc.cpu(len(data) * coeff)
+        if unit == "bytes":
+            out = data[-count:] if count else b""
+        else:
+            lines = data.splitlines(keepends=True)
+            out = b"".join(lines[-count:]) if count else b""
+        yield from proc.write(1, out)
+        if needs_close:
+            yield from proc.close(fd)
+    return 0
+
+
+@command("split")
+def split_cmd(proc: Process, argv: list[str]):
+    """split -l N [-b BYTES] [file [prefix]]: materialize chunks to files.
+
+    This is the materializing splitter PaSh-style AOT compilation leans on
+    ("lots of available storage space for buffering", §3.2).
+    """
+    try:
+        opts, operands = parse_flags(argv, "", with_value="lbn")
+    except UsageError as err:
+        yield from write_err(proc, f"split: {err}")
+        return 2
+    path = operands[0] if operands else "-"
+    prefix = operands[1] if len(operands) > 1 else "x"
+    coeff = cpu_coeff("split")
+    fd, needs_close = yield from open_input(proc, path)
+
+    def suffix(i: int) -> str:
+        letters = "abcdefghijklmnopqrstuvwxyz"
+        return letters[i // 26] + letters[i % 26]
+
+    idx = 0
+    if "b" in opts:
+        size = int(opts["b"].rstrip("kKmM")) * (
+            1024 if opts["b"][-1:] in "kK" else 1024 * 1024 if opts["b"][-1:] in "mM" else 1
+        )
+        while True:
+            data = yield from proc.read(fd, size)
+            if not data:
+                break
+            yield from proc.cpu(len(data) * coeff)
+            out = yield from proc.open(prefix + suffix(idx), "w")
+            yield from proc.write(out, data)
+            yield from proc.close(out)
+            idx += 1
+    else:
+        per_file = int(opts.get("l", "1000"))
+        stream = LineStream(proc, fd)
+        done = False
+        while not done:
+            lines: list[bytes] = []
+            while len(lines) < per_file:
+                line = yield from stream.next_line()
+                if line is None:
+                    done = True
+                    break
+                lines.append(line)
+            if lines:
+                data = b"".join(lines)
+                yield from proc.cpu(len(data) * coeff)
+                out = yield from proc.open(prefix + suffix(idx), "w")
+                yield from proc.write(out, data)
+                yield from proc.close(out)
+                idx += 1
+    if needs_close:
+        yield from proc.close(fd)
+    return 0
+
+
+@command("echo")
+def echo(proc: Process, argv: list[str]):
+    suppress_nl = False
+    args = list(argv)
+    if args and args[0] == "-n":
+        suppress_nl = True
+        args = args[1:]
+    text = " ".join(args)
+    out = text.encode()
+    if not suppress_nl:
+        out += b"\n"
+    yield from proc.cpu(len(out) * 1e-9)
+    yield from proc.write(1, out)
+    return 0
+
+
+@command("printf")
+def printf_cmd(proc: Process, argv: list[str]):
+    if not argv:
+        yield from write_err(proc, "printf: missing format")
+        return 2
+    fmt = argv[0]
+    args = argv[1:]
+    out = _printf_format(fmt, args)
+    yield from proc.cpu(len(out) * 2e-9)
+    yield from proc.write(1, out)
+    return 0
+
+
+def _printf_render(fmt: str, args: list[str]) -> str:
+    """One pass of printf formatting: %s %d %i %c %% and common escapes."""
+    arg_iter = iter(args)
+    out: list[str] = []
+    i = 0
+    while i < len(fmt):
+        c = fmt[i]
+        if c == "\\" and i + 1 < len(fmt):
+            esc = fmt[i + 1]
+            out.append({"n": "\n", "t": "\t", "\\": "\\", "r": "\r", "0": "\0"}.get(esc, "\\" + esc))
+            i += 2
+        elif c == "%" and i + 1 < len(fmt):
+            spec = fmt[i + 1]
+            if spec == "%":
+                out.append("%")
+            elif spec in "sdic":
+                arg = next(arg_iter, "")
+                if spec in "di":
+                    try:
+                        out.append(str(int(arg or "0", 0)))
+                    except ValueError:
+                        out.append("0")
+                elif spec == "c":
+                    out.append(arg[:1])
+                else:
+                    out.append(arg)
+            else:
+                out.append("%" + spec)
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _printf_format(fmt: str, args: list[str]) -> bytes:
+    """POSIX printf reapplies the format until the arguments run out."""
+    import re
+
+    n_specs = len(re.findall(r"%[sdic]", fmt))
+    if not args or n_specs == 0:
+        return _printf_render(fmt, args).encode()
+    pieces = []
+    for i in range(0, len(args), n_specs):
+        pieces.append(_printf_render(fmt, args[i : i + n_specs]))
+    return "".join(pieces).encode()
+
+
+@command("yes")
+def yes(proc: Process, argv: list[str]):
+    text = (" ".join(argv) if argv else "y").encode() + b"\n"
+    block = text * max(1, CHUNK // max(1, len(text)))
+    while True:
+        yield from proc.cpu(len(block) * 0.5e-9)
+        yield from proc.write(1, block)
+    # unreachable: terminated by SIGPIPE when the consumer exits
+
+
+@command("true")
+def true_cmd(proc: Process, argv: list[str]):
+    yield from proc.cpu(1e-6)
+    return 0
+
+
+@command("false")
+def false_cmd(proc: Process, argv: list[str]):
+    yield from proc.cpu(1e-6)
+    return 1
+
+
+@command("sleep")
+def sleep_cmd(proc: Process, argv: list[str]):
+    try:
+        seconds = float(argv[0]) if argv else 0.0
+    except ValueError:
+        yield from write_err(proc, f"sleep: invalid time interval {argv[0]!r}")
+        return 1
+    yield from proc.sleep(seconds)
+    return 0

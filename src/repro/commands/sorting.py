@@ -1,0 +1,426 @@
+"""Ordering commands: sort, uniq, comm, join, shuf, seq.
+
+``sort`` is the paper's flagship expensive stage (Figure 1 sorts the
+words of a 3 GB file) and carries an n·log n comparison cost on top of
+per-byte handling.  ``sort -m`` (merge of pre-sorted inputs) is the
+aggregator the parallelizing compiler uses.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..vos.process import CHUNK, Process
+from .base import (
+    LineStream,
+    OutBuf,
+    SORT_CMP_COST,
+    UsageError,
+    command,
+    cpu_coeff,
+    open_input,
+    parse_flags,
+    write_err,
+)
+
+
+def _numeric_key(body: bytes) -> float:
+    """POSIX sort -n: leading numeric value, 0 when none."""
+    text = body.lstrip()
+    i = 0
+    if i < len(text) and text[i : i + 1] in (b"-", b"+"):
+        i += 1
+    j = i
+    while j < len(text) and (text[j : j + 1].isdigit() or text[j : j + 1] == b"."):
+        j += 1
+    try:
+        return float(text[:j] or b"0")
+    except ValueError:
+        return 0.0
+
+
+def make_sort_key(numeric: bool, key_field: int | None, delim: bytes | None):
+    def key(line: bytes):
+        body = line.rstrip(b"\n")
+        if key_field is not None:
+            fields = body.split(delim) if delim else body.split()
+            body = fields[key_field - 1] if key_field - 1 < len(fields) else b""
+        if numeric:
+            return (_numeric_key(body), body)
+        return body
+
+    return key
+
+
+@command("sort")
+def sort_cmd(proc: Process, argv: list[str]):
+    """sort [-rnum] [-u] [-k FIELD[,FIELD]] [-t DELIM] [-o FILE] [-c] [FILE...]"""
+    try:
+        opts, operands = parse_flags(argv, "rnumc", with_value="kto")
+    except UsageError as err:
+        yield from write_err(proc, f"sort: {err}")
+        return 2
+    reverse = bool(opts.get("r"))
+    numeric = bool(opts.get("n"))
+    unique = bool(opts.get("u"))
+    merge_mode = bool(opts.get("m"))
+    check_mode = bool(opts.get("c"))
+    key_field = None
+    if "k" in opts:
+        key_field = int(str(opts["k"]).split(",")[0].split(".")[0])
+    delim = opts["t"].encode()[:1] if "t" in opts else None
+    key = make_sort_key(numeric, key_field, delim)
+    coeff = cpu_coeff("sort")
+    files = operands or ["-"]
+
+    if check_mode:
+        fd, needs_close = yield from open_input(proc, files[0])
+        stream = LineStream(proc, fd)
+        prev = None
+        while True:
+            line = yield from stream.next_line()
+            if line is None:
+                break
+            yield from proc.cpu(len(line) * coeff)
+            k = key(line)
+            if prev is not None:
+                in_order = k >= prev if not reverse else k <= prev
+                if not in_order:
+                    yield from write_err(proc, "sort: disorder")
+                    return 1
+            prev = k
+        if needs_close:
+            yield from proc.close(fd)
+        return 0
+
+    if merge_mode:
+        return (yield from _sort_merge(proc, files, key, reverse, unique, coeff))
+
+    lines: list[bytes] = []
+    total_bytes = 0
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        stream = LineStream(proc, fd)
+        while True:
+            batch = yield from stream.next_batch()
+            if batch is None:
+                break
+            if not batch:
+                continue
+            nbytes = sum(len(l) for l in batch)
+            total_bytes += nbytes
+            yield from proc.cpu(nbytes * coeff)
+            lines.extend(batch)
+        if needs_close:
+            yield from proc.close(fd)
+    # normalize missing trailing newline so ordering is on bodies
+    lines = [l if l.endswith(b"\n") else l + b"\n" for l in lines]
+    n = len(lines)
+    if n > 1:
+        yield from proc.cpu(n * math.log2(n) * SORT_CMP_COST)
+    lines.sort(key=key, reverse=reverse)
+    if unique:
+        deduped: list[bytes] = []
+        prev_key = object()
+        for line in lines:
+            k = key(line)
+            if k != prev_key:
+                deduped.append(line)
+                prev_key = k
+        lines = deduped
+    out_fd = 1
+    close_out = False
+    if "o" in opts:
+        out_fd = yield from proc.open(opts["o"], "w")
+        close_out = True
+    out = OutBuf(proc, out_fd)
+    yield from out.put_lines(lines)
+    yield from out.flush()
+    if close_out:
+        yield from proc.close(out_fd)
+    return 0
+
+
+def _sort_merge(proc: Process, files: list[str], key, reverse: bool,
+                unique: bool, coeff: float):
+    """k-way streaming merge of pre-sorted input files (sort -m)."""
+    in_fds = []
+    closers = []
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        in_fds.append(fd)
+        if needs_close:
+            closers.append(fd)
+    status = yield from kway_merge(proc, in_fds, key, reverse, unique, coeff)
+    for fd in closers:
+        yield from proc.close(fd)
+    return status
+
+
+def kway_merge(proc: Process, in_fds: list[int], key, reverse: bool,
+               unique: bool, coeff: float):
+    """Streaming heap-based k-way merge of pre-sorted inputs on open fds.
+    Shared by ``sort -m`` and the parallel compiler's merge node.  Each
+    emitted line costs one heap sift: log2(k) comparisons."""
+    import heapq
+
+    streams = [LineStream(proc, fd) for fd in in_fds]
+    heap: list = []
+
+    class _Rev:
+        """Inverts comparison for reverse merges."""
+
+        __slots__ = ("k",)
+
+        def __init__(self, k):
+            self.k = k
+
+        def __lt__(self, other):
+            return other.k < self.k
+
+        def __eq__(self, other):
+            return self.k == other.k
+
+    def wrap(k):
+        return _Rev(k) if reverse else k
+
+    for i, stream in enumerate(streams):
+        line = yield from stream.next_line()
+        if line is not None:
+            heapq.heappush(heap, (wrap(key(line)), i, line))
+    out = OutBuf(proc, 1)
+    cmp_cost = SORT_CMP_COST * math.log2(max(2, len(streams)))
+    prev_key = object()
+    pending_cpu = 0.0
+    while heap:
+        wrapped, i, line = heapq.heappop(heap)
+        k = wrapped.k if reverse else wrapped
+        pending_cpu += len(line) * coeff + cmp_cost
+        if pending_cpu > 1e-4:
+            yield from proc.cpu(pending_cpu)
+            pending_cpu = 0.0
+        if not (unique and k == prev_key):
+            yield from out.put(line if line.endswith(b"\n") else line + b"\n")
+        prev_key = k
+        nxt = yield from streams[i].next_line()
+        if nxt is not None:
+            heapq.heappush(heap, (wrap(key(nxt)), i, nxt))
+    if pending_cpu:
+        yield from proc.cpu(pending_cpu)
+    yield from out.flush()
+    return 0
+
+
+@command("uniq")
+def uniq(proc: Process, argv: list[str]):
+    try:
+        opts, operands = parse_flags(argv, "cdu")
+    except UsageError as err:
+        yield from write_err(proc, f"uniq: {err}")
+        return 2
+    count = bool(opts.get("c"))
+    dup_only = bool(opts.get("d"))
+    uniq_only = bool(opts.get("u"))
+    coeff = cpu_coeff("uniq")
+    path = operands[0] if operands else "-"
+    fd, needs_close = yield from open_input(proc, path)
+    stream = LineStream(proc, fd)
+    out = OutBuf(proc, 1)
+    prev: bytes | None = None
+    repeat = 0
+
+    def emit(line: bytes, n: int):
+        if dup_only and n < 2:
+            return
+        if uniq_only and n > 1:
+            return
+        if count:
+            yield from out.put(f"{n:7d} ".encode() + line)
+        else:
+            yield from out.put(line)
+
+    while True:
+        line = yield from stream.next_line()
+        if line is None:
+            break
+        yield from proc.cpu(len(line) * coeff)
+        body = line.rstrip(b"\n") + b"\n"
+        if prev is not None and body == prev:
+            repeat += 1
+        else:
+            if prev is not None:
+                yield from emit(prev, repeat)
+            prev = body
+            repeat = 1
+    if prev is not None:
+        yield from emit(prev, repeat)
+    yield from out.flush()
+    if needs_close:
+        yield from proc.close(fd)
+    return 0
+
+
+@command("comm")
+def comm(proc: Process, argv: list[str]):
+    """comm [-123] file1 file2 — three-column set comparison of sorted
+    inputs; the spell pipeline's last stage is ``comm -13 dict -``."""
+    suppress = set()
+    operands: list[str] = []
+    for arg in argv:
+        if arg.startswith("-") and arg != "-" and all(c in "123" for c in arg[1:]):
+            suppress |= set(arg[1:])
+        else:
+            operands.append(arg)
+    if len(operands) != 2:
+        yield from write_err(proc, "comm: need exactly two files")
+        return 2
+    coeff = cpu_coeff("comm")
+    fd1, close1 = yield from open_input(proc, operands[0])
+    fd2, close2 = yield from open_input(proc, operands[1])
+    s1, s2 = LineStream(proc, fd1), LineStream(proc, fd2)
+    out = OutBuf(proc, 1)
+    l1 = yield from s1.next_line()
+    l2 = yield from s2.next_line()
+    indent2 = b"" if "1" in suppress else b"\t"
+    indent3 = indent2 + (b"" if "2" in suppress else b"\t")
+
+    def body(line: bytes) -> bytes:
+        return line.rstrip(b"\n")
+
+    while l1 is not None or l2 is not None:
+        if l1 is not None:
+            yield from proc.cpu(len(l1) * coeff * 0.5)
+        if l2 is not None:
+            yield from proc.cpu(len(l2) * coeff * 0.5)
+        if l2 is None or (l1 is not None and body(l1) < body(l2)):
+            if "1" not in suppress:
+                yield from out.put(body(l1) + b"\n")
+            l1 = yield from s1.next_line()
+        elif l1 is None or body(l2) < body(l1):
+            if "2" not in suppress:
+                yield from out.put(indent2 + body(l2) + b"\n")
+            l2 = yield from s2.next_line()
+        else:
+            if "3" not in suppress:
+                yield from out.put(indent3 + body(l1) + b"\n")
+            l1 = yield from s1.next_line()
+            l2 = yield from s2.next_line()
+    yield from out.flush()
+    if close1:
+        yield from proc.close(fd1)
+    if close2:
+        yield from proc.close(fd2)
+    return 0
+
+
+@command("join")
+def join_cmd(proc: Process, argv: list[str]):
+    """join [-t DELIM] [-1 F] [-2 F] file1 file2 (sorted on join fields)."""
+    try:
+        opts, operands = parse_flags(argv, "", with_value="t12")
+    except UsageError as err:
+        yield from write_err(proc, f"join: {err}")
+        return 2
+    if len(operands) != 2:
+        yield from write_err(proc, "join: need exactly two files")
+        return 2
+    delim = opts["t"].encode()[:1] if "t" in opts else None
+    f1 = int(opts.get("1", "1"))
+    f2 = int(opts.get("2", "1"))
+    coeff = cpu_coeff("join")
+
+    def fields_of(line: bytes) -> list[bytes]:
+        body = line.rstrip(b"\n")
+        return body.split(delim) if delim else body.split()
+
+    def key_of(fields: list[bytes], idx: int) -> bytes:
+        return fields[idx - 1] if idx - 1 < len(fields) else b""
+
+    fd1, close1 = yield from open_input(proc, operands[0])
+    fd2, close2 = yield from open_input(proc, operands[1])
+    s1, s2 = LineStream(proc, fd1), LineStream(proc, fd2)
+    out = OutBuf(proc, 1)
+    sep = delim if delim else b" "
+    l1 = yield from s1.next_line()
+    l2 = yield from s2.next_line()
+    while l1 is not None and l2 is not None:
+        yield from proc.cpu((len(l1) + len(l2)) * coeff * 0.5)
+        fld1, fld2 = fields_of(l1), fields_of(l2)
+        k1, k2 = key_of(fld1, f1), key_of(fld2, f2)
+        if k1 < k2:
+            l1 = yield from s1.next_line()
+        elif k2 < k1:
+            l2 = yield from s2.next_line()
+        else:
+            # gather the run of equal keys in file2 for cross product
+            run: list[list[bytes]] = []
+            while l2 is not None and key_of(fields_of(l2), f2) == k1:
+                run.append(fields_of(l2))
+                l2 = yield from s2.next_line()
+            while l1 is not None and key_of(fields_of(l1), f1) == k1:
+                fld1 = fields_of(l1)
+                rest1 = [f for i, f in enumerate(fld1) if i != f1 - 1]
+                for fld in run:
+                    rest2 = [f for i, f in enumerate(fld) if i != f2 - 1]
+                    yield from out.put(sep.join([k1] + rest1 + rest2) + b"\n")
+                l1 = yield from s1.next_line()
+    yield from out.flush()
+    if close1:
+        yield from proc.close(fd1)
+    if close2:
+        yield from proc.close(fd2)
+    return 0
+
+
+@command("shuf")
+def shuf(proc: Process, argv: list[str]):
+    """shuf [--seed N] [FILE] — seeded for reproducibility."""
+    seed = 42
+    operands: list[str] = []
+    i = 0
+    while i < len(argv):
+        if argv[i] == "--seed":
+            seed = int(argv[i + 1])
+            i += 2
+        else:
+            operands.append(argv[i])
+            i += 1
+    path = operands[0] if operands else "-"
+    fd, needs_close = yield from open_input(proc, path)
+    data = yield from proc.read_all(fd)
+    yield from proc.cpu(len(data) * cpu_coeff("shuf"))
+    lines = data.splitlines(keepends=True)
+    if lines and not lines[-1].endswith(b"\n"):
+        lines[-1] += b"\n"
+    random.Random(seed).shuffle(lines)
+    yield from proc.write(1, b"".join(lines))
+    if needs_close:
+        yield from proc.close(fd)
+    return 0
+
+
+@command("seq")
+def seq(proc: Process, argv: list[str]):
+    try:
+        if len(argv) == 1:
+            start, step, end = 1, 1, int(argv[0])
+        elif len(argv) == 2:
+            start, step, end = int(argv[0]), 1, int(argv[1])
+        elif len(argv) == 3:
+            start, step, end = int(argv[0]), int(argv[1]), int(argv[2])
+        else:
+            raise ValueError("wrong number of operands")
+    except ValueError as err:
+        yield from write_err(proc, f"seq: {err}")
+        return 2
+    out = OutBuf(proc, 1)
+    coeff = cpu_coeff("seq")
+    value = start
+    while (step > 0 and value <= end) or (step < 0 and value >= end):
+        line = str(value).encode() + b"\n"
+        yield from proc.cpu(len(line) * coeff)
+        yield from out.put(line)
+        value += step
+    yield from out.flush()
+    return 0

@@ -1,0 +1,47 @@
+"""Shared plan execution for the AOT (PaSh) and JIT (Jash) drivers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..vos.errors import VosError
+from ..vos.process import Process
+from .parallel import Plan
+from .runtime import execute_graph
+
+
+def execute_plan(plan: Plan, proc: Process, cwd: str = "/"):
+    """Run a plan's phases in order inside the shell process ``proc``,
+    wiring the region's stdin/stdout/stderr to the shell's fds.  Cleans
+    up temp chunk files afterwards.  Returns the plan's exit status."""
+    stdin_handle = proc.fds.get(0)
+    stdout_handle = proc.fds.get(1)
+    stderr_handle = proc.fds.get(2)
+    status = 0
+    for phase in plan.phases:
+        status = yield from execute_graph(
+            phase, proc,
+            stdin_handle=stdin_handle,
+            stdout_handle=stdout_handle,
+            stderr_handle=stderr_handle,
+            cwd=cwd,
+        )
+    for path in plan.temp_files:
+        try:
+            proc.fs.unlink(proc.resolve(path))
+        except VosError:
+            pass
+    return status
+
+
+def fs_file_sizes(fs, cwd: str):
+    """A file_sizes callback over a virtual filesystem."""
+    from ..vos.fs import normalize
+
+    def file_sizes(path: str) -> Optional[int]:
+        resolved = normalize(path, cwd)
+        if fs.is_file(resolved):
+            return fs.size(resolved)
+        return None
+
+    return file_sizes

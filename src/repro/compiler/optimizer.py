@@ -1,0 +1,114 @@
+"""The resource-aware optimizer: pick a plan within a cost budget.
+
+"we are developing a resource-aware optimization procedure that ensures
+performance improvements on a multitude of underlying platforms ...
+The JIT compiler keeps the optimization procedure up-to-date on the
+currently available resources of the underlying infrastructure as well
+as the size and characteristics of the input."  The headline objective
+is *no regressions*: a transformation is applied only when its estimate
+beats the baseline by a safety margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..dfg.from_ast import Region
+from .cost import CostEstimate, Probe, estimate_baseline, estimate_parallel
+from .parallel import Plan, SPLIT_MODES, baseline_plan, parallelize
+
+
+@dataclass
+class Candidate:
+    width: int
+    mode: str
+    eager: bool
+    estimate: CostEstimate
+    plan: Optional[Plan] = None
+
+
+@dataclass
+class OptimizerConfig:
+    #: candidate evaluations allowed per region (the paper's "cost budget")
+    budget: int = 24
+    #: required speedup margin over the baseline estimate (no-regression
+    #: objective: only transform when clearly profitable)
+    margin: float = 0.85
+    #: inputs smaller than this are never worth transforming
+    min_input_bytes: int = 1 << 20
+    #: split modes the optimizer may use, in preference order
+    modes: tuple[str, ...] = ("rr", "range", "materialize")
+    max_width: Optional[int] = None
+
+
+@dataclass
+class Decision:
+    plan: Plan
+    estimate: CostEstimate
+    baseline: CostEstimate
+    candidates: list[Candidate] = field(default_factory=list)
+    reason: str = ""
+
+    @property
+    def transformed(self) -> bool:
+        return self.plan.mode != "baseline"
+
+
+class ResourceAwareOptimizer:
+    """Enumerates (width, mode, eager) candidates under a budget and
+    returns the best plan that beats the baseline."""
+
+    def __init__(self, config: Optional[OptimizerConfig] = None):
+        self.config = config or OptimizerConfig()
+
+    def candidate_widths(self, probe: Probe) -> list[int]:
+        limit = self.config.max_width or probe.cores
+        widths = []
+        w = 2
+        while w <= limit:
+            widths.append(w)
+            w *= 2
+        if limit not in widths and limit >= 2:
+            widths.append(limit)
+        return widths
+
+    def choose(self, region: Region, probe: Probe,
+               file_sizes: Callable[[str], Optional[int]]) -> Decision:
+        base_est = estimate_baseline(region, probe)
+        base = baseline_plan(region)
+        if probe.input_bytes < self.config.min_input_bytes:
+            return Decision(base, base_est, base_est,
+                            reason="input below optimization threshold")
+        if not region.parallelizable:
+            return Decision(base, base_est, base_est,
+                            reason="no parallelizable stage")
+        candidates: list[Candidate] = []
+        evaluations = 0
+        for mode in self.config.modes:
+            if mode not in SPLIT_MODES:
+                continue
+            for width in self.candidate_widths(probe):
+                for eager in ((False, True) if mode == "range" else (False,)):
+                    if evaluations >= self.config.budget:
+                        break
+                    estimate = estimate_parallel(region, probe, width, mode,
+                                                 eager)
+                    evaluations += 1
+                    if estimate is None:
+                        continue
+                    candidates.append(Candidate(width, mode, eager, estimate))
+        candidates.sort(key=lambda c: c.estimate.seconds)
+        for cand in candidates:
+            if cand.estimate.seconds > base_est.seconds * self.config.margin:
+                break
+            plan = parallelize(region, cand.width, cand.mode,
+                               file_sizes=file_sizes, eager=cand.eager)
+            if plan is None:
+                continue  # estimator thought it applied; builder disagreed
+            cand.plan = plan
+            return Decision(plan, cand.estimate, base_est, candidates,
+                            reason=f"estimated {cand.estimate.seconds:.2f}s "
+                                   f"vs baseline {base_est.seconds:.2f}s")
+        return Decision(base, base_est, base_est, candidates,
+                        reason="no candidate beat the baseline margin")

@@ -1,0 +1,34 @@
+"""S6 — the order-aware dataflow model."""
+
+from .from_ast import (
+    Region,
+    RegionStage,
+    build_dfg,
+    extract_region,
+    literal_argv,
+    make_stage,
+    region_from_argvs,
+    to_shell,
+)
+from .graph import (
+    CMD,
+    CONCAT_MERGE,
+    EAGER,
+    FILE_READ,
+    INTERNAL_KINDS,
+    RANGE_READ,
+    RR_SPLIT,
+    SORT_KWAY,
+    SUM_MERGE,
+    DataflowGraph,
+    DFNode,
+    Stream,
+)
+
+__all__ = [
+    "Region", "RegionStage", "build_dfg", "extract_region", "literal_argv",
+    "make_stage", "region_from_argvs", "to_shell",
+    "CMD", "CONCAT_MERGE", "EAGER", "FILE_READ", "INTERNAL_KINDS",
+    "RANGE_READ", "RR_SPLIT", "SORT_KWAY", "SUM_MERGE",
+    "DataflowGraph", "DFNode", "Stream",
+]

@@ -1,0 +1,114 @@
+"""Cluster substrate: multiple nodes in one kernel plus a network model.
+
+"Building a distributed Unix equivalent, in which Unix abstractions
+transcend single-computer boundaries, has been a goal since the 1970s"
+(§4 Distribution).  Each node has its own filesystem, disk, and cores;
+cross-node byte movement goes through a shared FIFO network with
+bandwidth and per-transfer latency, which is what makes POSH-style
+data-aware placement measurably better than shipping everything to one
+node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..vos.kernel import Kernel, Node
+from ..vos.machines import MachineSpec, laptop
+from ..vos.process import Process
+from ..vos.syscalls import NetSendReq
+
+
+@dataclass
+class _NetRequest:
+    nbytes: int
+    process: Process
+
+
+class Network:
+    """Shared-medium FIFO network: one transfer in flight at a time,
+    service time = latency + bytes/bandwidth."""
+
+    def __init__(self, bandwidth_bps: float = 1.25e9, latency_s: float = 0.0002):
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.queue: list[_NetRequest] = []
+        self.current: Optional[_NetRequest] = None
+        self.busy_until: Optional[float] = None
+        self.total_bytes = 0
+        self.total_transfers = 0
+
+    def submit(self, kernel: Kernel, proc: Process, request: NetSendReq) -> None:
+        self.total_bytes += request.nbytes
+        self.total_transfers += 1
+        net_request = _NetRequest(request.nbytes, proc)
+        if self.current is None:
+            self._start(kernel, net_request)
+        else:
+            self.queue.append(net_request)
+
+    def _start(self, kernel: Kernel, request: _NetRequest) -> None:
+        self.current = request
+        duration = self.latency_s + request.nbytes / self.bandwidth_bps
+        self.busy_until = kernel.now + duration
+
+    def next_event_time(self) -> Optional[float]:
+        return self.busy_until
+
+    def advance_to(self, kernel: Kernel, now: float) -> None:
+        while self.busy_until is not None and self.busy_until <= now + 1e-12:
+            done = self.current
+            self.current = None
+            self.busy_until = None
+            if done is not None:
+                kernel._ready.append((done.process, None, None))
+            if self.queue:
+                self._start(kernel, self.queue.pop(0))
+
+
+class Cluster:
+    """A multi-node machine: one kernel, one network, n nodes."""
+
+    def __init__(self, n_nodes: int = 4, machine: Optional[MachineSpec] = None,
+                 bandwidth_bps: float = 1.25e9, latency_s: float = 0.0002):
+        self.machine = machine or laptop()
+        self.kernel = Kernel()
+        self.kernel.network = Network(bandwidth_bps, latency_s)
+        self.node_names: list[str] = []
+        for i in range(n_nodes):
+            name = f"node{i}"
+            self.kernel.add_node(self.machine.make_node(name=name))
+            self.node_names.append(name)
+        self.failed: set[str] = set()
+
+    @property
+    def network(self) -> Network:
+        return self.kernel.network
+
+    def node(self, name: str) -> Node:
+        return self.kernel.nodes[name]
+
+    def fs(self, name: str):
+        return self.kernel.nodes[name].fs
+
+    def write_file(self, path: str, data: bytes, nodes: list[str]) -> None:
+        """Store ``path`` on the given nodes (replication factor =
+        len(nodes))."""
+        for name in nodes:
+            self.fs(name).write_bytes(path, data, mtime=self.kernel.now)
+
+    def locate(self, path: str) -> list[str]:
+        """Nodes (not failed) holding a replica of ``path``."""
+        return [name for name in self.node_names
+                if name not in self.failed and self.fs(name).is_file(path)]
+
+    def fail_node(self, name: str) -> None:
+        """Immediately kill everything on a node and take it offline."""
+        self.failed.add(name)
+        node = self.kernel.nodes[name]
+        for proc in self.kernel.processes_on(node):
+            self.kernel.kill_process(proc)
+
+    def alive_nodes(self) -> list[str]:
+        return [n for n in self.node_names if n not in self.failed]

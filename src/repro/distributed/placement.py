@@ -1,0 +1,82 @@
+"""POSH-style placement (S8): decide where each piece of a distributed
+dataflow runs.
+
+POSH's insight: "offload commands close to their input data, reducing
+network overhead."  For a map-style region (a per-file chain of pure
+commands followed by an aggregation), the placement maps each input
+file to an execution node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cluster import Cluster
+
+
+@dataclass
+class Placement:
+    #: input path -> node the chain for that file runs on
+    assignments: dict[str, str]
+    #: node the aggregator runs on
+    merge_node: str
+    strategy: str
+
+    def describe(self) -> str:
+        rows = [f"  {path} -> {node}" for path, node in
+                sorted(self.assignments.items())]
+        return (f"placement[{self.strategy}] merge@{self.merge_node}\n"
+                + "\n".join(rows))
+
+
+class PlacementError(Exception):
+    pass
+
+
+def central(cluster: Cluster, paths: list[str], head: str) -> Placement:
+    """The naive baseline: ship every input to the head node and run
+    everything there (what `ssh head 'grep ... '` over NFS amounts to)."""
+    return Placement({path: head for path in paths}, head, "central")
+
+
+def data_aware(cluster: Cluster, paths: list[str], head: str,
+               selectivity: float = 1.0) -> Placement:
+    """POSH placement: each file's chain runs on a node holding a
+    replica (ties broken by load-balance), the merge runs at the head.
+
+    ``selectivity`` (output bytes / input bytes of the chain) is used to
+    confirm offloading pays: when a chain *expands* its input, shipping
+    the input can be cheaper than shipping the output — POSH's cost
+    model handles exactly this case.
+    """
+    load: dict[str, int] = {name: 0 for name in cluster.alive_nodes()}
+    assignments: dict[str, str] = {}
+    for path in paths:
+        replicas = cluster.locate(path)
+        if not replicas:
+            raise PlacementError(f"no live replica of {path}")
+        if selectivity > 1.0 and head in replicas:
+            # expanding chain: prefer head (ship input, not output)
+            choice = head
+        elif selectivity > 1.0:
+            choice = min(replicas, key=lambda n: load[n])
+        else:
+            choice = min(replicas, key=lambda n: load[n])
+        assignments[path] = choice
+        load[choice] += 1
+    return Placement(assignments, head, "data-aware")
+
+
+def bytes_moved(cluster: Cluster, placement: Placement,
+                sizes: dict[str, int], selectivity: float = 1.0) -> int:
+    """Predicted network bytes for a placement: inputs shipped to
+    non-replica nodes plus chain outputs shipped to the merge node."""
+    total = 0
+    for path, node in placement.assignments.items():
+        if node not in cluster.locate(path):
+            total += sizes[path]
+        out = int(sizes[path] * selectivity)
+        if node != placement.merge_node:
+            total += out
+    return total

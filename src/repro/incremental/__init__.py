@@ -1,0 +1,11 @@
+"""S11 — the incremental computation framework built on command
+specifications + JIT runtime information (paper §4)."""
+
+from .cache import CacheEntry, IncrementalCache
+from .engine import IncEvent, IncrementalConfig, IncrementalOptimizer
+from .fingerprint import digest, file_fingerprint, region_key
+
+__all__ = [
+    "CacheEntry", "IncrementalCache", "IncEvent", "IncrementalConfig",
+    "IncrementalOptimizer", "digest", "file_fingerprint", "region_key",
+]

@@ -1,0 +1,79 @@
+"""The incremental result cache.
+
+Entries record, for a region key (command argvs + input fingerprints),
+the produced output and enough provenance to support *delta* reuse:
+when an input grows append-only and the region is stateless, only the
+appended suffix needs processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CacheEntry:
+    key: str
+    output: bytes
+    status: int
+    #: provenance for append-only delta reuse
+    input_paths: list[str] = field(default_factory=list)
+    input_sizes: list[int] = field(default_factory=list)
+    input_prefix_fps: list[str] = field(default_factory=list)  # fp of full old content
+    hits: int = 0
+
+
+class IncrementalCache:
+    def __init__(self, capacity_bytes: int = 256 << 20):
+        self.capacity_bytes = capacity_bytes
+        self.entries: dict[str, CacheEntry] = {}
+        #: most recent entry per (argvs-hash, tuple(paths)) for delta lookup
+        self.latest_for_paths: dict[tuple, str] = {}
+        self.size_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.delta_hits = 0
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self.entries.get(key)
+        if entry is not None:
+            entry.hits += 1
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, entry: CacheEntry, argv_sig: str) -> None:
+        existing = self.entries.get(entry.key)
+        if existing is not None:
+            self.size_bytes -= len(existing.output)
+        self.entries[entry.key] = entry
+        self.size_bytes += len(entry.output)
+        self.latest_for_paths[(argv_sig, tuple(entry.input_paths))] = entry.key
+        self._evict()
+
+    def latest(self, argv_sig: str, paths: list[str]) -> Optional[CacheEntry]:
+        key = self.latest_for_paths.get((argv_sig, tuple(paths)))
+        if key is None:
+            return None
+        return self.entries.get(key)
+
+    def _evict(self) -> None:
+        if self.size_bytes <= self.capacity_bytes:
+            return
+        # least-hit-first eviction
+        for key in sorted(self.entries, key=lambda k: self.entries[k].hits):
+            if self.size_bytes <= self.capacity_bytes:
+                break
+            entry = self.entries.pop(key)
+            self.size_bytes -= len(entry.output)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self.entries),
+            "bytes": self.size_bytes,
+            "hits": self.hits,
+            "delta_hits": self.delta_hits,
+            "misses": self.misses,
+        }

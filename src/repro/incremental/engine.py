@@ -1,0 +1,232 @@
+"""The incremental computation engine (§4 'Incremental Computation').
+
+"PaSh and POSH's command specifications are the missing link, exposing
+the necessary information for an incremental computation framework. ...
+The JIT framework can then be used to provide up-to-date information on
+the latest state of script inputs. Combined, we have the critical
+building blocks for a runtime that incrementally reinterprets a script
+given changes of its input."
+
+The engine is an interpreter hook (same protocol as Jash).  For each
+pure dataflow region over file-backed inputs it:
+
+* **replays** the cached output when the inputs are unchanged
+  (make-style stat fingerprints: size + mtime, with a sampled content
+  spot-check);
+* **extends** the cached output when the region is fully stateless and
+  an input grew append-only — only the appended suffix is processed
+  (the per-line independence exposed by the STATELESS annotation:
+  "a command that processes each of its input lines independently need
+  not be reapplied to the input lines that were unchanged");
+* otherwise recomputes and refreshes the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..annotations.library import DEFAULT_LIBRARY
+from ..annotations.model import ParClass, SpecLibrary
+from ..dfg.from_ast import Region, build_dfg, region_from_argvs
+from ..dfg.graph import CMD, RANGE_READ, DataflowGraph
+from ..jit.frontend import expand_region, pipeline_stages, purity_reason
+from ..jit.runtime_info import region_input_files
+from ..parser.ast_nodes import Command
+from ..parser.unparse import unparse
+from ..vos.handles import Collector
+from .cache import CacheEntry, IncrementalCache
+from .fingerprint import digest, region_key
+
+
+@dataclass
+class IncEvent:
+    node_text: str
+    decision: str  # "replayed" | "extended" | "computed" | "interpreted"
+    reason: str
+    saved_bytes: int = 0
+
+
+@dataclass
+class IncrementalConfig:
+    library: SpecLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
+    #: sampled spot-check size when trusting stat fingerprints
+    spot_check_bytes: int = 1024
+    #: minimum input size worth caching at all
+    min_input_bytes: int = 4096
+
+
+class IncrementalOptimizer:
+    """Interpreter hook giving scripts make-style, line-level reuse."""
+
+    def __init__(self, config: Optional[IncrementalConfig] = None,
+                 cache: Optional[IncrementalCache] = None):
+        self.config = config or IncrementalConfig()
+        self.cache = cache if cache is not None else IncrementalCache()
+        self.events: list[IncEvent] = []
+
+    # -- the hook ---------------------------------------------------------------
+
+    def try_execute(self, interp, proc, node: Command):
+        text = unparse(node)
+        stages = pipeline_stages(node)
+        if stages is None:
+            return None
+            yield  # pragma: no cover - generator shape
+        if purity_reason(stages) is not None:
+            self._note(text, "interpreted", "unsafe early expansion")
+            return None
+        region = yield from expand_region(interp, proc, stages,
+                                          self.config.library)
+        if region is None:
+            self._note(text, "interpreted", "not a dataflow region")
+            return None
+        if not all(s.spec.pure for s in region.stages):
+            self._note(text, "interpreted", "region not pure")
+            return None
+        input_files = region_input_files(region, proc.fs, interp.state.cwd)
+        if input_files is None:
+            self._note(text, "interpreted", "input not file-backed")
+            return None
+        fs = proc.fs
+        total = sum(fs.size(p) for p in input_files)
+        if total < self.config.min_input_bytes:
+            self._note(text, "interpreted", "input too small to cache")
+            return None
+
+        argvs = [s.argv for s in region.stages]
+        fps = [f"{p}:{fs.size(p)}:{fs.mtime(p):.9f}" for p in input_files]
+        argv_sig = region_key(argvs, [])
+        key = region_key(argvs, fps)
+
+        entry = self.cache.get(key)
+        if entry is not None:
+            status = yield from self._replay(region, proc, entry.output,
+                                             interp.state.cwd)
+            self._note(text, "replayed", "inputs unchanged",
+                       saved_bytes=total)
+            return entry.status if status == 0 else status
+
+        # append-only delta path
+        prev = self.cache.latest(argv_sig, input_files)
+        if (
+            prev is not None
+            and len(input_files) == 1
+            and all(s.spec.par_class is ParClass.STATELESS
+                    for s in region.stages)
+            and self._grew_append_only(fs, input_files[0], prev)
+        ):
+            old_size = prev.input_sizes[0]
+            delta_out, status = yield from self._run_suffix(
+                region, proc, input_files[0], old_size, interp.state.cwd
+            )
+            output = prev.output + delta_out
+            st2 = yield from self._replay(region, proc, output,
+                                          interp.state.cwd)
+            self.cache.delta_hits += 1
+            self.cache.put(
+                CacheEntry(key, output, status, list(input_files),
+                           [fs.size(p) for p in input_files],
+                           [digest(fs.read_bytes(p)) for p in input_files]),
+                argv_sig,
+            )
+            self._note(text, "extended",
+                       f"append-only delta: reused {old_size} bytes",
+                       saved_bytes=old_size)
+            return status if st2 == 0 else st2
+
+        # full compute with capture
+        collector = Collector()
+        status = yield from self._execute_region(region, proc, collector,
+                                                 interp.state.cwd)
+        output = collector.getvalue()
+        st2 = yield from self._replay(region, proc, output, interp.state.cwd)
+        self.cache.put(
+            CacheEntry(key, output, status, list(input_files),
+                       [fs.size(p) for p in input_files],
+                       [digest(fs.read_bytes(p)) for p in input_files]),
+            argv_sig,
+        )
+        self._note(text, "computed", "cache miss; result stored")
+        return status if st2 == 0 else st2
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _note(self, text: str, decision: str, reason: str,
+              saved_bytes: int = 0) -> None:
+        self.events.append(IncEvent(text, decision, reason, saved_bytes))
+
+    def _grew_append_only(self, fs, path: str, prev: CacheEntry) -> bool:
+        """Did ``path`` grow by appending?  Cheap size check plus a spot
+        check that the stored prefix digest matches the current prefix."""
+        old_size = prev.input_sizes[0]
+        new_size = fs.size(path)
+        if new_size <= old_size:
+            return False
+        data = fs.read_bytes(path)
+        return digest(data[:old_size]) == prev.input_prefix_fps[0]
+
+    def _execute_region(self, region: Region, proc, sink, cwd: str):
+        from ..compiler.runtime import execute_graph
+
+        dfg = build_dfg(region)
+        if dfg.streams[dfg.sink].path is not None:
+            # detach the file sink: we capture and replay instead
+            dfg.streams[dfg.sink].path = None
+        status = yield from execute_graph(
+            dfg, proc,
+            stdin_handle=proc.fds.get(0),
+            stdout_handle=sink,
+            stderr_handle=proc.fds.get(2),
+            cwd=cwd,
+        )
+        return status
+
+    def _run_suffix(self, region: Region, proc, path: str, offset: int,
+                    cwd: str):
+        """Run the stateless region over only the appended suffix."""
+        from ..compiler.runtime import execute_graph
+
+        fs = proc.fs
+        size = fs.size(path)
+        dfg = DataflowGraph()
+        prev = dfg.new_stream()
+        dfg.add_node(RANGE_READ,
+                     params={"segments": [(path, offset, size)],
+                             "path": path, "start": offset, "end": size},
+                     outputs=(prev,))
+        stages = region.stages
+        # drop a pure reader (cat) stage: the range reader replaces it
+        if stages and stages[0].argv[0] == "cat" and stages[0].spec.input_operands:
+            stages = stages[1:]
+        for stage in stages:
+            out = dfg.new_stream()
+            argv = [a for i, a in enumerate(stage.argv)
+                    if i == 0 or (i - 1) not in set(stage.spec.input_operands)]
+            dfg.add_node(CMD, tuple(argv), inputs=(prev,), outputs=(out,),
+                         spec=stage.spec)
+            prev = out
+        dfg.sink = prev
+        collector = Collector()
+        status = yield from execute_graph(
+            dfg, proc, stdout_handle=collector,
+            stderr_handle=proc.fds.get(2), cwd=cwd,
+        )
+        return collector.getvalue(), status
+
+    def _replay(self, region: Region, proc, output: bytes, cwd: str):
+        """Deliver (cached) output to the region's sink, charging the
+        write honestly."""
+        last = region.stages[-1]
+        if last.stdout_file is not None:
+            fd = yield from proc.open(last.stdout_file, "w")
+            yield from proc.write(fd, output)
+            yield from proc.close(fd)
+        else:
+            yield from proc.write(1, output)
+        return 0
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return self.cache.stats()

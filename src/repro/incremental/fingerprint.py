@@ -1,0 +1,30 @@
+"""Content fingerprints for the incremental engine."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def file_fingerprint(fs, path: str) -> str | None:
+    """Fingerprint of a file's contents; None when it does not exist."""
+    if not fs.is_file(path):
+        return None
+    return digest(fs.read_bytes(path))
+
+
+def region_key(argvs: list[list[str]], input_fps: list[str]) -> str:
+    """Cache key for a dataflow region applied to concrete inputs."""
+    h = hashlib.sha256()
+    for argv in argvs:
+        for arg in argv:
+            h.update(arg.encode())
+            h.update(b"\x00")
+        h.update(b"\x01")
+    for fp in input_fps:
+        h.update(fp.encode())
+        h.update(b"\x02")
+    return h.hexdigest()

@@ -1,0 +1,160 @@
+"""Jash — 'Just a shell' (S9/E3): the paper's proposal.
+
+"Jash inspects each shell command as it comes in to identify candidates
+for rewriting. Since Jash works dynamically, it can take into account
+current system conditions to decide whether to even try to apply
+optimizations."
+
+The engine is an interpreter hook (see
+:meth:`repro.semantics.interp.Interpreter.exec`): for each pipeline or
+simple command it
+
+1. checks that expanding the words is **side-effect free** (the purity
+   analysis over the Smoosh-style semantics — soundness);
+2. expands words early with full runtime state (B2 made tractable);
+3. classifies the stages against the annotation library (E2) into a
+   dataflow region;
+4. probes the machine (file sizes, disk burst credits, load);
+5. asks the resource-aware optimizer for a plan, with a no-regression
+   objective; and
+6. either executes the transformed dataflow graph or *returns to the
+   interpreter* ("switching back and forth between interpretation and
+   optimization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..annotations.library import DEFAULT_LIBRARY
+from ..annotations.model import SpecLibrary
+from ..compiler.driver import execute_plan, fs_file_sizes
+from ..compiler.optimizer import Decision, OptimizerConfig, ResourceAwareOptimizer
+from ..parser.ast_nodes import Command
+from ..parser.unparse import unparse
+from .runtime_info import measure_input, probe_machine, region_input_files
+
+
+@dataclass
+class JitEvent:
+    node_text: str
+    decision: str  # "optimized" | "interpreted"
+    reason: str
+    plan_description: str = ""
+    estimate_s: float = 0.0
+    baseline_s: float = 0.0
+    compile_overhead_s: float = 0.0
+
+
+@dataclass
+class JashConfig:
+    library: SpecLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
+    #: CPU seconds for the cheap pre-screen (purity walk + expansion +
+    #: stat): charged on every candidate node
+    probe_cost_s: float = 2e-5
+    #: CPU seconds for a full compilation (region lowering + cost-model
+    #: search): charged only once the pre-screen says it may pay off —
+    #: "Jash can determine in the moment whether it is even worth trying
+    #: to optimize on small inputs" (§3.2)
+    compile_cost_s: float = 0.0008
+    #: trust read-only command substitutions during purity analysis
+    allow_pure_cmdsub: bool = False
+
+
+class JashOptimizer:
+    """The JIT engine installed as the interpreter's optimizer hook."""
+
+    def __init__(self, config: Optional[JashConfig] = None):
+        self.config = config or JashConfig()
+        self.optimizer = ResourceAwareOptimizer(self.config.optimizer)
+        self.events: list[JitEvent] = []
+        self._pure_commands = self.config.library.pure_read_only_commands()
+
+    # -- the hook -------------------------------------------------------------
+
+    def try_execute(self, interp, proc, node: Command):
+        from .frontend import expand_region, pipeline_stages, purity_reason
+
+        text = unparse(node)
+        stages_ast = pipeline_stages(node)
+        if stages_ast is None:
+            self._skip(text, "not a flat pipeline of simple commands")
+            return None
+            yield  # pragma: no cover - generator shape
+
+        # 1. soundness: early expansion must be side-effect free
+        impure_reason = purity_reason(stages_ast,
+                                      self.config.allow_pure_cmdsub,
+                                      self._pure_commands)
+        if impure_reason is not None:
+            self._skip(text, f"unsafe early expansion: {impure_reason}")
+            return None
+
+        # charge the cheap pre-screen (expansion + stat)
+        yield from proc.cpu(self.config.probe_cost_s)
+
+        # 2. early expansion with full runtime information
+        region = yield from expand_region(interp, proc, stages_ast,
+                                          self.config.library)
+        if region is None:
+            self._skip(text, "stages not classifiable as a dataflow region")
+            return None
+        if not region.parallelizable:
+            self._skip(text, "no parallelizable stage")
+            return None
+
+        # 3./4. probe the system
+        input_files = region_input_files(region, proc.fs, interp.state.cwd)
+        if input_files is None:
+            self._skip(text, "input is not file-backed (size unknown)")
+            return None
+        input_bytes, avg_line, avg_token = measure_input(proc.fs, input_files)
+        if input_bytes < self.config.optimizer.min_input_bytes:
+            self._skip(text, "input below optimization threshold")
+            return None
+        probe = probe_machine(proc, input_bytes, avg_line, avg_token)
+        # the pre-screen passed: pay for a full compilation
+        yield from proc.cpu(self.config.compile_cost_s)
+
+        # 5. cost-based decision, no-regression objective
+        file_sizes = fs_file_sizes(proc.fs, interp.state.cwd)
+        decision: Decision = self.optimizer.choose(region, probe, file_sizes)
+        if not decision.transformed:
+            self._skip(text, decision.reason,
+                       baseline=decision.baseline.seconds)
+            return None
+
+        # 6. execute the dataflow plan
+        status = yield from execute_plan(decision.plan, proc,
+                                         cwd=interp.state.cwd)
+        self.events.append(JitEvent(
+            text, "optimized", decision.reason,
+            decision.plan.description,
+            estimate_s=decision.estimate.seconds,
+            baseline_s=decision.baseline.seconds,
+            compile_overhead_s=self.config.compile_cost_s,
+        ))
+        return status
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _skip(self, text: str, reason: str, baseline: float = 0.0) -> None:
+        self.events.append(JitEvent(text, "interpreted", reason,
+                                    baseline_s=baseline))
+
+    # -- reporting --------------------------------------------------------------------
+
+    @property
+    def optimized_count(self) -> int:
+        return sum(1 for e in self.events if e.decision == "optimized")
+
+    def report(self) -> str:
+        lines = []
+        for event in self.events:
+            lines.append(f"[{event.decision:>11}] {event.node_text}")
+            lines.append(f"              {event.reason}")
+            if event.plan_description:
+                lines.append(f"              plan: {event.plan_description}")
+        return "\n".join(lines)

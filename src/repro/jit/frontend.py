@@ -1,0 +1,78 @@
+"""Shared JIT front-end: candidate detection, purity checking, and sound
+early expansion of pipeline nodes into dataflow regions.
+
+Used by the Jash optimizer (S9) and the incremental engine (S11), both
+of which are interpreter hooks that must first answer: *is this node a
+dataflow region, and may I expand its words early?*
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..annotations.model import SpecLibrary
+from ..dfg.from_ast import Region, region_from_argvs
+from ..parser.ast_nodes import Command, Pipeline, SimpleCommand
+from ..semantics.expansion import expand_word_single, expand_words
+from ..semantics.purity import check_word, check_words
+
+
+def pipeline_stages(node: Command) -> Optional[list[SimpleCommand]]:
+    """The simple-command stages of a flat pipeline; None when the node
+    has shapes the dataflow fragment does not cover."""
+    if isinstance(node, SimpleCommand):
+        stages = [node]
+    elif isinstance(node, Pipeline) and not node.negated:
+        if not all(isinstance(c, SimpleCommand) for c in node.commands):
+            return None
+        stages = list(node.commands)
+    else:
+        return None
+    for stage in stages:
+        if stage.assigns:
+            return None
+        for redirect in stage.redirects:
+            if redirect.op in ("<<", "<<-", "<&", ">&"):
+                return None
+    return stages
+
+
+def purity_reason(stages: list[SimpleCommand], allow_pure_cmdsub: bool = False,
+                  pure_commands: frozenset = frozenset()) -> Optional[str]:
+    """Why early expansion would be unsound, or None when it is safe."""
+    for stage in stages:
+        report = check_words(stage.words, allow_pure_cmdsub, pure_commands)
+        if not report.pure:
+            return "; ".join(report.reasons)
+        for redirect in stage.redirects:
+            report = check_word(redirect.target, allow_pure_cmdsub,
+                                pure_commands)
+            if not report.pure:
+                return "; ".join(report.reasons)
+    return None
+
+
+def expand_region(interp, proc, stages: list[SimpleCommand],
+                  library: SpecLibrary):
+    """Early-expand a (purity-checked) pipeline into a Region.  This is a
+    generator (command substitution would need the kernel — but purity
+    checking has already excluded those)."""
+    argvs: list[list[str]] = []
+    stdin_file: Optional[str] = None
+    stdout_file: Optional[str] = None
+    for i, stage in enumerate(stages):
+        argv = yield from expand_words(interp, proc, stage.words)
+        if not argv:
+            return None
+        argvs.append(argv)
+        for redirect in stage.redirects:
+            target = yield from expand_word_single(interp, proc,
+                                                   redirect.target)
+            fd = redirect.default_fd()
+            if redirect.op == "<" and fd == 0 and i == 0:
+                stdin_file = target
+            elif redirect.op in (">", ">|") and fd == 1 and i == len(stages) - 1:
+                stdout_file = target
+            else:
+                return None
+    return region_from_argvs(argvs, library, stdin_file, stdout_file)

@@ -1,0 +1,11 @@
+"""S13 — heuristic support: static lint checks, JIT-time misuse
+detection, spec-driven command explanation, and the shell tutor."""
+
+from .checks import Diagnostic, lint
+from .explain import explain, explain_command
+from .misuse import Finding, MisuseConfig, MisuseGuard
+from .tutor import StatementAdvice, TutorReport, tutor
+
+__all__ = ["Diagnostic", "lint", "explain", "explain_command",
+           "Finding", "MisuseConfig", "MisuseGuard",
+           "StatementAdvice", "TutorReport", "tutor"]

@@ -1,0 +1,146 @@
+"""explainshell-style command explanation from the spec library (§4:
+"The tutor could use the library of specifications as a database to
+either answer queries about particular commands or to guide users").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..annotations.library import DEFAULT_LIBRARY
+from ..annotations.model import ParClass, SpecLibrary
+from ..parser import parse_one
+from ..parser.ast_nodes import Pipeline, SimpleCommand
+
+COMMAND_SUMMARIES = {
+    "cat": "concatenate files to standard output",
+    "tr": "translate, squeeze, or delete characters",
+    "grep": "print lines matching a pattern",
+    "cut": "select character or field columns from each line",
+    "sed": "stream editor: substitute / delete / print by pattern",
+    "sort": "sort lines (optionally numeric, reversed, unique)",
+    "uniq": "collapse adjacent duplicate lines",
+    "comm": "compare two sorted files line by line (3 columns)",
+    "join": "relational join of two sorted files",
+    "wc": "count lines, words, and bytes",
+    "head": "first lines of input",
+    "tail": "last lines of input",
+    "tee": "copy input to output and to files",
+    "xargs": "build and run commands from standard input",
+    "seq": "print numeric sequences",
+    "echo": "print arguments",
+    "paste": "merge corresponding lines of files",
+    "rev": "reverse each line",
+    "tac": "reverse line order",
+    "split": "split input into fixed-size chunk files",
+    "shuf": "randomly permute lines",
+    "awk": "pattern-directed record processing language",
+}
+
+FLAG_DESCRIPTIONS = {
+    ("grep", "v"): "invert: print non-matching lines",
+    ("grep", "i"): "case-insensitive matching",
+    ("grep", "c"): "print only a count of matching lines",
+    ("grep", "n"): "prefix matches with line numbers",
+    ("grep", "F"): "fixed-string (not regex) matching",
+    ("grep", "m"): "stop after NUM matches",
+    ("grep", "q"): "quiet: exit status only",
+    ("sort", "r"): "reverse the ordering",
+    ("sort", "n"): "numeric comparison",
+    ("sort", "u"): "unique: drop duplicate keys",
+    ("sort", "m"): "merge already-sorted inputs",
+    ("sort", "k"): "sort by field KEY",
+    ("sort", "t"): "field delimiter",
+    ("sort", "o"): "write result to FILE",
+    ("tr", "c"): "complement the first set",
+    ("tr", "s"): "squeeze repeated output characters",
+    ("tr", "d"): "delete characters in the set",
+    ("cut", "c"): "select character positions",
+    ("cut", "f"): "select fields",
+    ("cut", "d"): "field delimiter",
+    ("uniq", "c"): "prefix lines with repetition counts",
+    ("uniq", "d"): "print only duplicated lines",
+    ("uniq", "u"): "print only unique lines",
+    ("wc", "l"): "count lines",
+    ("wc", "w"): "count words",
+    ("wc", "c"): "count bytes",
+    ("head", "n"): "number of lines",
+    ("head", "c"): "number of bytes",
+    ("tail", "n"): "number of lines",
+    ("comm", "1"): "suppress lines unique to file1",
+    ("comm", "2"): "suppress lines unique to file2",
+    ("comm", "3"): "suppress lines common to both",
+}
+
+PAR_EXPLANATIONS = {
+    ParClass.STATELESS: (
+        "stateless: processes each line independently — the optimizer "
+        "may split its input and concatenate partial outputs"
+    ),
+    ParClass.PARALLELIZABLE_PURE: (
+        "parallelizable (pure): partial runs merge through its "
+        "aggregator"
+    ),
+    ParClass.NON_PARALLELIZABLE: (
+        "order/position dependent: must see its whole input in order"
+    ),
+    ParClass.SIDE_EFFECTFUL: (
+        "side-effectful: writes outside its own stdout — excluded from "
+        "dataflow optimization"
+    ),
+}
+
+
+def explain_command(argv: list[str], library: Optional[SpecLibrary] = None) -> str:
+    library = library or DEFAULT_LIBRARY
+    name = argv[0]
+    lines = [f"{name}: {COMMAND_SUMMARIES.get(name, 'no summary available')}"]
+    for arg in argv[1:]:
+        if arg.startswith("-") and arg != "-" and not arg.startswith("--"):
+            for flag in arg[1:]:
+                desc = FLAG_DESCRIPTIONS.get((name, flag))
+                if desc:
+                    lines.append(f"  -{flag}: {desc}")
+                elif not flag.isdigit():
+                    lines.append(f"  -{flag}: (undocumented flag)")
+        elif arg == "-":
+            lines.append("  -: read standard input")
+    spec = library.classify(name, list(argv[1:]))
+    if spec is not None:
+        lines.append(f"  ⇒ {PAR_EXPLANATIONS[spec.par_class]}")
+        if spec.aggregator is not None and spec.par_class is ParClass.PARALLELIZABLE_PURE:
+            agg = spec.aggregator
+            how = " ".join(agg.argv) if agg.argv else agg.kind.value
+            lines.append(f"  ⇒ aggregator: {how}")
+    return "\n".join(lines)
+
+
+def explain(pipeline_text: str, library: Optional[SpecLibrary] = None) -> str:
+    """Explain a full pipeline stage by stage, plus what the optimizer
+    would see."""
+    library = library or DEFAULT_LIBRARY
+    node = parse_one(pipeline_text)
+    if isinstance(node, SimpleCommand):
+        commands = [node]
+    elif isinstance(node, Pipeline):
+        commands = list(node.commands)
+    else:
+        return "explain: only plain pipelines are supported"
+    sections = []
+    parallelizable = 0
+    for cmd in commands:
+        if not isinstance(cmd, SimpleCommand) or not cmd.words:
+            sections.append("(compound stage)")
+            continue
+        if not all(w.is_literal() for w in cmd.words):
+            sections.append("(stage with runtime expansions — the JIT will "
+                            "analyze it once values are known)")
+            continue
+        argv = [w.literal_value() for w in cmd.words]
+        sections.append(explain_command(argv, library))
+        spec = library.classify(argv[0], argv[1:])
+        if spec is not None and spec.parallelizable:
+            parallelizable += 1
+    footer = (f"\n{parallelizable}/{len(commands)} stages are "
+              f"parallelizable by annotation.")
+    return "\n\n".join(sections) + footer

@@ -1,0 +1,179 @@
+"""Spec-driven command misuse detection (§4 'Heuristic support').
+
+"Building on the JIT execution framework and the command specification
+libraries, one could develop a sound JIT analysis that detects command
+misuse at runtime (but still before it occurs)."
+
+:class:`MisuseGuard` is an interpreter hook that *never executes
+anything itself*: it inspects each expanded command just before it runs
+(full runtime information, so no false alarms about unexpanded
+variables) and records/report findings.  In ``enforce`` mode a finding
+with severity "error" blocks the command (exit 125) instead of letting
+it destroy data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..annotations.library import DEFAULT_LIBRARY
+from ..annotations.model import SpecLibrary
+from ..commands.base import REGISTRY
+from ..jit.frontend import expand_region, pipeline_stages, purity_reason
+from ..parser.ast_nodes import Command
+from ..parser.unparse import unparse
+from ..vos.fs import normalize
+
+#: flags each command understands (operand-level misuse detection)
+KNOWN_FLAGS: dict[str, set[str]] = {
+    "cat": set("u"),
+    "tr": set("cCsd"),
+    "grep": set("vicnqFlxem"),
+    "cut": set("scfd"),
+    "sort": set("rnumckto"),
+    "uniq": set("cdu"),
+    "head": set("qnc"),
+    "tail": set("qnc"),
+    "wc": set("lwc"),
+    "comm": set("123"),
+    "rm": set("rf"),
+    "mkdir": set("p"),
+    "ls": set("la1"),
+    "sed": set("ne"),
+    "awk": set("Fv"),
+}
+
+
+@dataclass
+class Finding:
+    code: str
+    severity: str
+    message: str
+    command: str
+
+
+@dataclass
+class MisuseConfig:
+    library: SpecLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
+    #: block commands with error-severity findings
+    enforce: bool = False
+
+
+class MisuseGuard:
+    """Interpreter optimizer-hook that checks, warns, and (optionally)
+    blocks — then lets the interpreter run the command normally."""
+
+    def __init__(self, config: Optional[MisuseConfig] = None):
+        self.config = config or MisuseConfig()
+        self.findings: list[Finding] = []
+
+    def try_execute(self, interp, proc, node: Command):
+        stages = pipeline_stages(node)
+        if stages is None:
+            return None
+            yield  # pragma: no cover - generator shape
+        if purity_reason(stages) is not None:
+            return None  # cannot expand soundly; stay out of the way
+        region = yield from expand_region(interp, proc, stages,
+                                          self.config.library)
+        argvs: list[list[str]]
+        stdin_file = stdout_file = None
+        if region is not None:
+            argvs = [s.argv for s in region.stages]
+            stdin_file = region.stages[0].stdin_file
+            stdout_file = region.stages[-1].stdout_file
+        else:
+            # unknown/side-effectful commands have no region, but their
+            # expanded argvs can still be checked
+            from ..semantics.expansion import expand_words
+
+            argvs = []
+            for stage in stages:
+                argv = yield from expand_words(interp, proc, stage.words)
+                if argv:
+                    argvs.append(argv)
+        text = unparse(node)
+        blocking = False
+        for argv in argvs:
+            blocking |= self._check_argv(argv, proc, interp, text)
+        # pipeline-level: output clobbers an input that is still unread
+        if stdout_file is not None:
+            inputs = set()
+            if stdin_file is not None:
+                inputs.add(normalize(stdin_file, interp.state.cwd))
+            for stage in region.stages:
+                args = stage.argv[1:]
+                for idx in stage.spec.input_operands:
+                    if idx < len(args):
+                        inputs.add(normalize(args[idx], interp.state.cwd))
+            if normalize(stdout_file, interp.state.cwd) in inputs:
+                self.findings.append(Finding(
+                    "JM001", "error",
+                    f"output redirection truncates input file "
+                    f"{stdout_file!r} before it is read", text,
+                ))
+                blocking = True
+        if blocking and self.config.enforce:
+            yield from interp.write_err(
+                proc, f"jash-guard: blocked: {self.findings[-1].message}"
+            )
+            return 125
+        return None
+
+    def _check_argv(self, argv: list[str], proc, interp, text: str) -> bool:
+        """Record findings for one expanded argv; returns True when an
+        error-severity finding should block."""
+        name = argv[0]
+        blocking = False
+        if name not in REGISTRY and name not in ("cd", "read", "echo"):
+            spec = self.config.library.get(name)
+            if spec is None:
+                self.findings.append(Finding(
+                    "JM404", "warning",
+                    f"{name!r}: unknown command (no spec, not installed)",
+                    text,
+                ))
+                return False
+        known = KNOWN_FLAGS.get(name)
+        spec = self.config.library.classify(name, argv[1:])
+        if known is not None:
+            for arg in argv[1:]:
+                if arg.startswith("--") or arg == "-":
+                    continue
+                if arg.startswith("-") and not arg[1:].isdigit():
+                    bad = set(arg[1:]) - known - set("0123456789")
+                    if bad:
+                        self.findings.append(Finding(
+                            "JM002", "warning",
+                            f"{name}: unrecognized flag(s) "
+                            f"{''.join(sorted(bad))!r}", text,
+                        ))
+        # missing input files: fail before spawning the pipeline
+        if spec is not None and spec.input_operands:
+            args = argv[1:]
+            for idx in spec.input_operands:
+                if idx >= len(args) or args[idx] == "-":
+                    continue
+                path = normalize(args[idx], interp.state.cwd)
+                if not proc.fs.exists(path):
+                    self.findings.append(Finding(
+                        "JM003", "warning",
+                        f"{name}: input file {args[idx]!r} does not exist "
+                        f"(detected before execution)", text,
+                    ))
+        # rm with glob-expanded everything
+        if name == "rm":
+            targets = [a for a in argv[1:] if not a.startswith("-")]
+            if any(t in ("/", "/*") for t in targets):
+                self.findings.append(Finding(
+                    "JM911", "error",
+                    "rm of the filesystem root requested", text,
+                ))
+                blocking = True
+        return blocking
+
+    def report(self) -> str:
+        return "\n".join(
+            f"[{f.severity:>7}] {f.code}: {f.message}" for f in self.findings
+        )

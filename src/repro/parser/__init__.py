@@ -1,0 +1,48 @@
+"""S1 — the libdash equivalent: POSIX shell parser and unparser.
+
+Public API::
+
+    from repro.parser import parse, parse_one, unparse
+    ast = parse("cat f | sort | head -n1")
+    src = unparse(ast)          # round-trips: parse(src) == ast
+"""
+
+from .ast_nodes import (
+    AndOr,
+    ArithSub,
+    Assign,
+    BraceGroup,
+    Case,
+    CaseItem,
+    CmdSub,
+    Command,
+    CommandList,
+    DoubleQuoted,
+    Escaped,
+    For,
+    FuncDef,
+    If,
+    Lit,
+    ListItem,
+    Param,
+    Pipeline,
+    Redirect,
+    SimpleCommand,
+    SingleQuoted,
+    Subshell,
+    While,
+    Word,
+    walk,
+)
+from .grammar import Parser, parse, parse_one, split_assignment, word_literal
+from .lexer import Lexer, ShellSyntaxError, is_name
+from .unparse import unparse, unparse_word
+
+__all__ = [
+    "AndOr", "ArithSub", "Assign", "BraceGroup", "Case", "CaseItem",
+    "CmdSub", "Command", "CommandList", "DoubleQuoted", "Escaped", "For",
+    "FuncDef", "If", "Lit", "ListItem", "Param", "Pipeline", "Redirect",
+    "SimpleCommand", "SingleQuoted", "Subshell", "While", "Word", "walk",
+    "Parser", "parse", "parse_one", "split_assignment", "word_literal",
+    "Lexer", "ShellSyntaxError", "is_name", "unparse", "unparse_word",
+]

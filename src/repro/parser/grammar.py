@@ -1,0 +1,569 @@
+"""Recursive-descent parser for the POSIX Shell Command Language.
+
+Implements the grammar of POSIX.1-2017 XCU 2.10 over the tokens produced
+by :mod:`repro.parser.lexer`.  ``parse(src)`` returns a
+:class:`~repro.parser.ast_nodes.CommandList`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast_nodes import (
+    AndOr,
+    Assign,
+    BraceGroup,
+    Case,
+    CaseItem,
+    Command,
+    CommandList,
+    DoubleQuoted,
+    Escaped,
+    For,
+    FuncDef,
+    If,
+    Lit,
+    ListItem,
+    Pipeline,
+    Redirect,
+    SimpleCommand,
+    SingleQuoted,
+    Subshell,
+    While,
+    Word,
+)
+from .lexer import Lexer, ShellSyntaxError, Token, _PendingHeredoc, is_name
+
+RESERVED = {
+    "if", "then", "else", "elif", "fi", "do", "done",
+    "case", "esac", "while", "until", "for", "in", "{", "}", "!",
+}
+
+REDIR_OPERATORS = {"<", ">", ">>", "<&", ">&", "<>", ">|", "<<", "<<-"}
+
+
+def word_literal(word: Word) -> Optional[str]:
+    """The literal string of a fully-unquoted single-Lit word, else None.
+
+    Reserved words are only recognized when completely unquoted (POSIX
+    2.10.2 rule 1 applies to the *token*, so ``"if"`` is not a keyword).
+    """
+    if len(word.parts) == 1 and isinstance(word.parts[0], Lit):
+        return word.parts[0].text
+    return None
+
+
+def split_assignment(word: Word) -> Optional[tuple[str, Word]]:
+    """If ``word`` has the shape ``name=value`` (with ``name=`` unquoted),
+    return ``(name, value_word)``."""
+    if not word.parts or not isinstance(word.parts[0], Lit):
+        return None
+    first = word.parts[0].text
+    eq = first.find("=")
+    if eq <= 0:
+        return None
+    name = first[:eq]
+    if not is_name(name):
+        return None
+    rest_text = first[eq + 1 :]
+    value_parts = list(word.parts[1:])
+    if rest_text:
+        value_parts.insert(0, Lit(rest_text))
+    return name, Word(tuple(value_parts))
+
+
+class Parser:
+    """One-pass recursive-descent parser; not reusable across inputs."""
+
+    def __init__(self, src: str, offset: int = 0):
+        self.lexer = Lexer(src, parse_command=_parse_substitution)
+        self.lexer.pos = 0
+        if offset:
+            self.lexer._advance(offset)
+
+    # -- token helpers --------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.lexer.peek()
+
+    def _next(self) -> Token:
+        return self.lexer.next()
+
+    def _error(self, msg: str, tok: Optional[Token] = None) -> ShellSyntaxError:
+        tok = tok or self._peek()
+        return ShellSyntaxError(msg, pos=tok.pos, line=tok.line)
+
+    def _at_op(self, *ops: str) -> bool:
+        tok = self._peek()
+        return tok.kind == "OP" and tok.value in ops
+
+    def _expect_op(self, op: str) -> Token:
+        tok = self._peek()
+        if tok.kind != "OP" or tok.value != op:
+            raise self._error(f"expected {op!r}, found {self._describe(tok)}")
+        return self._next()
+
+    def _at_keyword(self, *names: str) -> Optional[str]:
+        tok = self._peek()
+        if tok.kind != "WORD":
+            return None
+        lit = word_literal(tok.word)
+        return lit if lit in names else None
+
+    def _expect_keyword(self, name: str) -> None:
+        if self._at_keyword(name) is None:
+            raise self._error(f"expected {name!r}, found {self._describe(self._peek())}")
+        self._next()
+
+    @staticmethod
+    def _describe(tok: Token) -> str:
+        if tok.kind == "WORD":
+            lit = word_literal(tok.word)
+            return repr(lit) if lit is not None else "word"
+        if tok.kind == "EOF":
+            return "end of input"
+        if tok.kind == "NEWLINE":
+            return "newline"
+        return repr(tok.value)
+
+    def _skip_newlines(self) -> None:
+        while self._peek().kind == "NEWLINE":
+            self._next()
+
+    def _linebreak(self) -> None:
+        self._skip_newlines()
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_program(self) -> CommandList:
+        items: list[ListItem] = []
+        self._skip_newlines()
+        while self._peek().kind != "EOF":
+            items.extend(self._parse_list_items(until_ops=()))
+            self._skip_newlines()
+        return CommandList(tuple(items))
+
+    def parse_until(self, close_op: Optional[str]) -> tuple[Command, int]:
+        """Parse a command list terminated by ``close_op`` (an operator such
+        as ``)``) or EOF when None; consume the terminator.  Returns the
+        parsed command and the source offset just past the terminator."""
+        self._skip_newlines()
+        items: list[ListItem] = []
+        while True:
+            tok = self._peek()
+            if tok.kind == "EOF":
+                if close_op is not None:
+                    raise self._error(f"expected {close_op!r} before end of input")
+                break
+            if close_op is not None and tok.kind == "OP" and tok.value == close_op:
+                self._next()
+                break
+            items.extend(self._parse_list_items(until_ops=(close_op,) if close_op else ()))
+            self._skip_newlines()
+        return CommandList(tuple(items)), self.lexer.pos
+
+    # -- lists ---------------------------------------------------------------
+
+    #: Reserved words that terminate an enclosing body; a command can never
+    #: begin with one of these, so list parsing stops there.
+    STOP_KEYWORDS = ("then", "else", "elif", "fi", "do", "done", "esac", "}")
+
+    def _parse_list_items(self, until_ops: tuple) -> list[ListItem]:
+        """Parse ``and_or ((';'|'&') and_or)*`` up to a newline/terminator."""
+        items: list[ListItem] = []
+        while True:
+            cmd = self._parse_and_or()
+            is_async = False
+            separated = False
+            if self._at_op("&"):
+                self._next()
+                is_async = True
+                separated = True
+            elif self._at_op(";"):
+                self._next()
+                separated = True
+            items.append(ListItem(cmd, is_async))
+            tok = self._peek()
+            if tok.kind in ("EOF", "NEWLINE"):
+                break
+            if tok.kind == "OP" and (tok.value in until_ops or tok.value in (")", ";;")):
+                break
+            if tok.kind == "OP" and tok.value in ("&", ";"):
+                raise self._error("unexpected separator")
+            if not separated:
+                raise self._error(f"expected separator, found {self._describe(tok)}")
+            if self._at_keyword(*self.STOP_KEYWORDS):
+                break
+        return items
+
+    def _parse_and_or(self) -> Command:
+        left = self._parse_pipeline()
+        while self._at_op("&&", "||"):
+            op = self._next().value
+            self._linebreak()
+            right = self._parse_pipeline()
+            left = AndOr(left, op, right)
+        return left
+
+    def _parse_pipeline(self) -> Command:
+        negated = False
+        if self._at_keyword("!"):
+            self._next()
+            negated = True
+        commands = [self._parse_command()]
+        while self._at_op("|"):
+            self._next()
+            self._linebreak()
+            commands.append(self._parse_command())
+        if len(commands) == 1 and not negated:
+            return commands[0]
+        return Pipeline(tuple(commands), negated=negated)
+
+    # -- commands --------------------------------------------------------------
+
+    def _parse_command(self) -> Command:
+        tok = self._peek()
+        if tok.kind == "OP" and tok.value == "(":
+            return self._parse_subshell()
+        if tok.kind == "WORD":
+            kw = word_literal(tok.word)
+            if kw == "{":
+                return self._parse_brace_group()
+            if kw == "if":
+                return self._parse_if()
+            if kw in ("while", "until"):
+                return self._parse_while(until=(kw == "until"))
+            if kw == "for":
+                return self._parse_for()
+            if kw == "case":
+                return self._parse_case()
+            if kw in RESERVED and kw not in ("!", "in"):
+                raise self._error(f"unexpected reserved word {kw!r}")
+        return self._parse_simple_command()
+
+    def _parse_redirect_suffix(self) -> tuple[Redirect, ...]:
+        redirects = []
+        while True:
+            redirect = self._try_parse_redirect()
+            if redirect is None:
+                return tuple(redirects)
+            redirects.append(redirect)
+
+    def _try_parse_redirect(self) -> Optional[Redirect]:
+        tok = self._peek()
+        fd: Optional[int] = None
+        if tok.kind == "IO_NUMBER":
+            fd = int(tok.value)
+            self._next()
+            tok = self._peek()
+            if tok.kind != "OP" or tok.value not in REDIR_OPERATORS:
+                raise self._error("expected redirection operator after io-number")
+        if tok.kind != "OP" or tok.value not in REDIR_OPERATORS:
+            return None
+        op = self._next().value
+        target_tok = self._peek()
+        if target_tok.kind != "WORD":
+            raise self._error(f"expected word after {op!r}")
+        self._next()
+        target = target_tok.word
+        if op in ("<<", "<<-"):
+            return self._make_heredoc(op, target, fd)
+        return Redirect(op, target, fd)
+
+    def _make_heredoc(self, op: str, delim_word: Word, fd: Optional[int]) -> Redirect:
+        quoted = not all(isinstance(p, Lit) for p in delim_word.parts)
+        delim_text_parts: list[str] = []
+        for part in delim_word.parts:
+            if isinstance(part, Lit):
+                delim_text_parts.append(part.text)
+            elif isinstance(part, SingleQuoted):
+                delim_text_parts.append(part.text)
+            elif isinstance(part, Escaped):
+                delim_text_parts.append(part.char)
+            elif isinstance(part, DoubleQuoted):
+                for q in part.parts:
+                    if isinstance(q, Lit):
+                        delim_text_parts.append(q.text)
+                    elif isinstance(q, Escaped):
+                        delim_text_parts.append(q.char)
+                    else:
+                        raise self._error("here-doc delimiter must be static")
+            else:
+                raise self._error("here-doc delimiter must be static")
+        delimiter = "".join(delim_text_parts)
+        box: dict = {}
+
+        def resolve(body: Word) -> None:
+            box["body"] = body
+
+        self.lexer.push_heredoc(
+            _PendingHeredoc(delimiter, quoted, op == "<<-", resolve)
+        )
+        # The body isn't read yet; we fix it up lazily via a mutable closure
+        # captured by _HeredocProxy below.
+        return _HeredocRedirect(op, delim_word, fd, box)
+
+    # -- compound commands -------------------------------------------------------
+
+    def _parse_subshell(self) -> Command:
+        self._expect_op("(")
+        body, __ = self._parse_compound_body(close_op=")")
+        redirects = self._parse_redirect_suffix()
+        return Subshell(body, redirects)
+
+    def _parse_compound_body(self, close_op: Optional[str] = None, close_kw: Optional[str] = None):
+        """Parse a command list until an operator or keyword terminator;
+        consumes the terminator."""
+        self._skip_newlines()
+        items: list[ListItem] = []
+        while True:
+            tok = self._peek()
+            if close_op is not None and tok.kind == "OP" and tok.value == close_op:
+                self._next()
+                return CommandList(tuple(items)), None
+            if close_kw is not None and self._at_keyword(close_kw):
+                self._next()
+                return CommandList(tuple(items)), close_kw
+            if tok.kind == "EOF":
+                want = close_op or close_kw
+                raise self._error(f"expected {want!r} before end of input")
+            items.extend(self._parse_list_items(until_ops=(close_op,) if close_op else ()))
+            self._skip_newlines()
+
+    def _parse_body_until_keywords(self, *keywords: str):
+        """Parse a command list until one of several keywords; consume it and
+        return (body, keyword)."""
+        self._skip_newlines()
+        items: list[ListItem] = []
+        while True:
+            for kw in keywords:
+                if self._at_keyword(kw):
+                    self._next()
+                    return CommandList(tuple(items)), kw
+            if self._peek().kind == "EOF":
+                raise self._error(f"expected one of {keywords} before end of input")
+            items.extend(self._parse_list_items(until_ops=()))
+            self._skip_newlines()
+
+    def _parse_brace_group(self) -> Command:
+        self._expect_keyword("{")
+        body, __ = self._parse_body_until_keywords("}")
+        redirects = self._parse_redirect_suffix()
+        return BraceGroup(body, redirects)
+
+    def _parse_if(self) -> Command:
+        self._expect_keyword("if")
+        cond, __ = self._parse_body_until_keywords("then")
+        then_body, kw = self._parse_body_until_keywords("elif", "else", "fi")
+        elifs: list[tuple[Command, Command]] = []
+        else_body: Optional[Command] = None
+        while kw == "elif":
+            elif_cond, __ = self._parse_body_until_keywords("then")
+            elif_body, kw = self._parse_body_until_keywords("elif", "else", "fi")
+            elifs.append((elif_cond, elif_body))
+        if kw == "else":
+            else_body, kw = self._parse_body_until_keywords("fi")
+        redirects = self._parse_redirect_suffix()
+        return If(cond, then_body, tuple(elifs), else_body, redirects)
+
+    def _parse_while(self, until: bool) -> Command:
+        self._next()  # while/until
+        cond, __ = self._parse_body_until_keywords("do")
+        body, __ = self._parse_body_until_keywords("done")
+        redirects = self._parse_redirect_suffix()
+        return While(cond, body, until=until, redirects=redirects)
+
+    def _parse_for(self) -> Command:
+        self._expect_keyword("for")
+        name_tok = self._peek()
+        if name_tok.kind != "WORD":
+            raise self._error("expected name after 'for'")
+        name = word_literal(name_tok.word)
+        if name is None or not is_name(name):
+            raise self._error("bad for-loop variable name")
+        self._next()
+        self._skip_newlines()
+        words: Optional[tuple[Word, ...]] = None
+        if self._at_keyword("in"):
+            self._next()
+            collected: list[Word] = []
+            while self._peek().kind == "WORD":
+                collected.append(self._next().word)
+            words = tuple(collected)
+            if self._at_op(";"):
+                self._next()
+            elif self._peek().kind == "NEWLINE":
+                self._skip_newlines()
+            else:
+                raise self._error("expected ';' or newline after for-words")
+        elif self._at_op(";"):
+            self._next()
+        self._skip_newlines()
+        self._expect_keyword("do")
+        body, __ = self._parse_body_until_keywords("done")
+        redirects = self._parse_redirect_suffix()
+        return For(name, words, body, redirects)
+
+    def _parse_case(self) -> Command:
+        self._expect_keyword("case")
+        subject_tok = self._peek()
+        if subject_tok.kind != "WORD":
+            raise self._error("expected word after 'case'")
+        self._next()
+        self._skip_newlines()
+        self._expect_keyword("in")
+        self._skip_newlines()
+        items: list[CaseItem] = []
+        while not self._at_keyword("esac"):
+            if self._peek().kind == "EOF":
+                raise self._error("expected 'esac' before end of input")
+            if self._at_op("("):
+                self._next()
+            patterns = [self._read_pattern_word()]
+            while self._at_op("|"):
+                self._next()
+                patterns.append(self._read_pattern_word())
+            self._expect_op(")")
+            self._skip_newlines()
+            body: Optional[Command] = None
+            if not self._at_op(";;") and not self._at_keyword("esac"):
+                body_items: list[ListItem] = []
+                while True:
+                    tok = self._peek()
+                    if tok.kind == "OP" and tok.value == ";;":
+                        break
+                    if self._at_keyword("esac"):
+                        break
+                    if tok.kind == "EOF":
+                        raise self._error("expected ';;' or 'esac'")
+                    body_items.extend(self._parse_list_items(until_ops=(";;",)))
+                    self._skip_newlines()
+                body = CommandList(tuple(body_items))
+            if self._at_op(";;"):
+                self._next()
+            self._skip_newlines()
+            items.append(CaseItem(tuple(patterns), body))
+        self._expect_keyword("esac")
+        redirects = self._parse_redirect_suffix()
+        return Case(subject_tok.word, tuple(items), redirects)
+
+    def _read_pattern_word(self) -> Word:
+        tok = self._peek()
+        if tok.kind != "WORD":
+            raise self._error("expected case pattern")
+        self._next()
+        return tok.word
+
+    # -- simple commands -----------------------------------------------------------
+
+    def _parse_simple_command(self) -> Command:
+        assigns: list[Assign] = []
+        words: list[Word] = []
+        redirects: list[Redirect] = []
+        seen_command_word = False
+        while True:
+            redirect = self._try_parse_redirect()
+            if redirect is not None:
+                redirects.append(redirect)
+                continue
+            tok = self._peek()
+            if tok.kind != "WORD":
+                break
+            if not seen_command_word:
+                assignment = split_assignment(tok.word)
+                if assignment is not None:
+                    self._next()
+                    assigns.append(Assign(*assignment))
+                    continue
+            self._next()
+            # function definition: name ( ) body
+            if (
+                not seen_command_word
+                and not assigns
+                and not redirects
+                and self._at_op("(")
+            ):
+                name = word_literal(tok.word)
+                if name is not None and is_name(name) and name not in RESERVED:
+                    self._next()  # (
+                    self._expect_op(")")
+                    self._skip_newlines()
+                    body = self._parse_command()
+                    # trailing redirects attach to the function body
+                    extra = self._parse_redirect_suffix()
+                    if extra:
+                        body = _attach_redirects(body, extra)
+                    return FuncDef(name, body)
+            words.append(tok.word)
+            seen_command_word = True
+        if not assigns and not words and not redirects:
+            raise self._error(f"expected a command, found {self._describe(self._peek())}")
+        return SimpleCommand(tuple(assigns), tuple(words), tuple(redirects))
+
+
+class _HeredocRedirect(Redirect):
+    """A Redirect whose heredoc body is filled in after the next newline.
+
+    The lexer resolves the body into ``box['body']``; we expose it through
+    the ``heredoc`` attribute.  Instances otherwise behave as (and compare
+    like) plain Redirects once resolved.
+    """
+
+    def __init__(self, op: str, target: Word, fd: Optional[int], box: dict):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "fd", fd)
+        object.__setattr__(self, "_box", box)
+
+    @property
+    def heredoc(self) -> Optional[Word]:  # type: ignore[override]
+        return self._box.get("body")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Redirect):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.target == other.target
+            and self.fd == other.fd
+            and self.heredoc == other.heredoc
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.target, self.fd, self.heredoc))
+
+    def __repr__(self) -> str:
+        return (
+            f"Redirect(op={self.op!r}, target={self.target!r}, fd={self.fd!r}, "
+            f"heredoc={self.heredoc!r})"
+        )
+
+
+def _attach_redirects(cmd: Command, redirects: tuple[Redirect, ...]) -> Command:
+    from dataclasses import replace
+
+    if hasattr(cmd, "redirects"):
+        return replace(cmd, redirects=tuple(cmd.redirects) + redirects)
+    return Subshell(cmd, redirects)
+
+
+def _parse_substitution(src: str, offset: int, close_op: Optional[str]):
+    """Hook installed into the lexer: parse a $(...) / `...` body."""
+    parser = Parser(src, offset)
+    return parser.parse_until(close_op)
+
+
+def parse(src: str) -> CommandList:
+    """Parse a complete shell program into a :class:`CommandList`."""
+    return Parser(src).parse_program()
+
+
+def parse_one(src: str) -> Command:
+    """Parse a program expected to contain exactly one command."""
+    program = parse(src)
+    if len(program.items) != 1:
+        raise ShellSyntaxError(f"expected one command, found {len(program.items)}")
+    item = program.items[0]
+    if item.is_async:
+        return program
+    return item.command

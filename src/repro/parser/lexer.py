@@ -1,0 +1,579 @@
+"""POSIX shell lexer.
+
+Produces operator / word / newline tokens on demand.  Words are lexed with
+their internal structure (quoting, parameter/command/arithmetic
+substitution) already resolved into :mod:`repro.parser.ast_nodes` word
+parts, which is how dash (and therefore libdash) structures its reader.
+
+Here-documents are gathered when the newline that follows their redirection
+operators is consumed, per POSIX XCU 2.7.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .ast_nodes import (
+    ArithSub,
+    CmdSub,
+    DoubleQuoted,
+    Escaped,
+    Lit,
+    Param,
+    SingleQuoted,
+    Word,
+    WordPart,
+)
+
+
+class ShellSyntaxError(SyntaxError):
+    """Raised on malformed shell input."""
+
+    def __init__(self, message: str, pos: int = -1, line: int = -1):
+        super().__init__(message)
+        self.pos = pos
+        self.line = line
+
+
+#: Multi-character operators, longest first (POSIX token recognition rule 2/3).
+OPERATORS = [
+    "<<-", "<<", ">>", "<&", ">&", "<>", ">|",
+    "&&", "||", ";;",
+    "<", ">", "|", "&", ";", "(", ")",
+]
+
+OPERATOR_START = set("<>|&;()")
+
+#: Characters that terminate an unquoted word.
+WORD_TERMINATORS = set(" \t\n") | OPERATOR_START
+
+SPECIAL_PARAMS = set("@*#?-$!0123456789")
+
+
+def is_name(s: str) -> bool:
+    """POSIX *name*: [A-Za-z_][A-Za-z0-9_]*."""
+    if not s:
+        return False
+    if not (s[0].isalpha() or s[0] == "_"):
+        return False
+    return all(c.isalnum() or c == "_" for c in s[1:])
+
+
+@dataclass
+class Token:
+    kind: str  # "WORD" | "OP" | "NEWLINE" | "EOF" | "IO_NUMBER"
+    value: str = ""  # operator text, or io-number digits
+    word: Optional[Word] = None
+    pos: int = 0
+    line: int = 1
+
+
+@dataclass
+class _PendingHeredoc:
+    """A here-doc whose body must be read at the next newline."""
+
+    delimiter: str
+    quoted: bool  # delimiter contained quoting -> body is literal
+    strip_tabs: bool  # <<- operator
+    resolve: Callable[[Word], None]  # callback installing the body word
+
+
+class Lexer:
+    """On-demand tokenizer over a shell source string."""
+
+    def __init__(self, src: str, parse_command: Optional[Callable] = None):
+        """``parse_command`` parses a command substitution body: called with
+        (source, offset) and returning (Command, new_offset).  The parser
+        installs it; tests may lex without substitutions resolving."""
+        self.src = src
+        self.pos = 0
+        self.line = 1
+        self._peeked: Optional[Token] = None
+        self._pending_heredocs: list[_PendingHeredoc] = []
+        self._parse_command = parse_command
+
+    # -- public interface ---------------------------------------------------
+
+    def peek(self) -> Token:
+        if self._peeked is None:
+            self._peeked = self._lex()
+        return self._peeked
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self._peeked = None
+        if tok.kind == "NEWLINE":
+            self._gather_heredocs()
+        return tok
+
+    def push_heredoc(self, pending: "_PendingHeredoc") -> None:
+        self._pending_heredocs.append(pending)
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    # -- core scanning ------------------------------------------------------
+
+    def _error(self, msg: str) -> ShellSyntaxError:
+        return ShellSyntaxError(msg, pos=self.pos, line=self.line)
+
+    def _advance(self, n: int = 1) -> None:
+        self.line += self.src.count("\n", self.pos, self.pos + n)
+        self.pos += n
+
+    def _skip_blanks_and_comments(self) -> None:
+        src, n = self.src, len(self.src)
+        while self.pos < n:
+            c = src[self.pos]
+            if c in " \t":
+                self.pos += 1
+            elif c == "\\" and self.pos + 1 < n and src[self.pos + 1] == "\n":
+                self._advance(2)  # line continuation
+            elif c == "#":
+                while self.pos < n and src[self.pos] != "\n":
+                    self.pos += 1
+            else:
+                return
+
+    def _lex(self) -> Token:
+        self._skip_blanks_and_comments()
+        start, line = self.pos, self.line
+        if self.pos >= len(self.src):
+            return Token("EOF", pos=start, line=line)
+        c = self.src[self.pos]
+        if c == "\n":
+            self._advance()
+            return Token("NEWLINE", "\n", pos=start, line=line)
+        if c in OPERATOR_START:
+            for op in OPERATORS:
+                if self.src.startswith(op, self.pos):
+                    self._advance(len(op))
+                    return Token("OP", op, pos=start, line=line)
+            raise self._error(f"unrecognized operator at {c!r}")
+        # IO_NUMBER: digits directly followed by < or >
+        if c.isdigit():
+            j = self.pos
+            while j < len(self.src) and self.src[j].isdigit():
+                j += 1
+            if j < len(self.src) and self.src[j] in "<>":
+                digits = self.src[self.pos : j]
+                self._advance(j - self.pos)
+                return Token("IO_NUMBER", digits, pos=start, line=line)
+        word = self._read_word()
+        return Token("WORD", word=word, pos=start, line=line)
+
+    # -- word reading -------------------------------------------------------
+
+    def _read_word(self) -> Word:
+        parts: list[WordPart] = []
+        lit: list[str] = []
+
+        def flush() -> None:
+            if lit:
+                parts.append(Lit("".join(lit)))
+                lit.clear()
+
+        src, n = self.src, len(self.src)
+        while self.pos < n:
+            c = src[self.pos]
+            if c in WORD_TERMINATORS:
+                break
+            if c == "'":
+                flush()
+                parts.append(self._read_single_quoted())
+            elif c == '"':
+                flush()
+                parts.append(self._read_double_quoted())
+            elif c == "\\":
+                if self.pos + 1 >= n:
+                    raise self._error("trailing backslash")
+                if src[self.pos + 1] == "\n":
+                    self._advance(2)  # line continuation
+                    continue
+                flush()
+                parts.append(Escaped(src[self.pos + 1]))
+                self._advance(2)
+            elif c == "$":
+                flush()
+                parts.append(self._read_dollar(in_dquotes=False))
+            elif c == "`":
+                flush()
+                parts.append(self._read_backtick())
+            else:
+                lit.append(c)
+                self._advance()
+        flush()
+        if not parts:
+            raise self._error("empty word")
+        return Word(tuple(parts))
+
+    def _read_single_quoted(self) -> SingleQuoted:
+        assert self.src[self.pos] == "'"
+        end = self.src.find("'", self.pos + 1)
+        if end < 0:
+            raise self._error("unterminated single quote")
+        text = self.src[self.pos + 1 : end]
+        self._advance(end + 1 - self.pos)
+        return SingleQuoted(text)
+
+    def _read_double_quoted(self) -> DoubleQuoted:
+        assert self.src[self.pos] == '"'
+        self._advance()
+        parts: list[WordPart] = []
+        lit: list[str] = []
+
+        def flush() -> None:
+            if lit:
+                parts.append(Lit("".join(lit)))
+                lit.clear()
+
+        src, n = self.src, len(self.src)
+        while True:
+            if self.pos >= n:
+                raise self._error("unterminated double quote")
+            c = src[self.pos]
+            if c == '"':
+                self._advance()
+                break
+            if c == "\\":
+                if self.pos + 1 >= n:
+                    raise self._error("unterminated double quote")
+                nxt = src[self.pos + 1]
+                if nxt == "\n":
+                    self._advance(2)
+                elif nxt in '$`"\\':
+                    flush()
+                    parts.append(Escaped(nxt))
+                    self._advance(2)
+                else:  # backslash stays literal inside dquotes
+                    lit.append("\\")
+                    self._advance()
+            elif c == "$":
+                flush()
+                parts.append(self._read_dollar(in_dquotes=True))
+            elif c == "`":
+                flush()
+                parts.append(self._read_backtick())
+            else:
+                lit.append(c)
+                self._advance()
+        flush()
+        return DoubleQuoted(tuple(parts))
+
+    # -- $ expansions ---------------------------------------------------------
+
+    def _read_dollar(self, in_dquotes: bool) -> WordPart:
+        assert self.src[self.pos] == "$"
+        src, n = self.src, len(self.src)
+        if self.pos + 1 >= n:
+            self._advance()
+            return Lit("$")
+        nxt = src[self.pos + 1]
+        if nxt == "(":
+            if src.startswith("$((", self.pos):
+                arith = self._try_read_arith()
+                if arith is not None:
+                    return arith
+            return self._read_cmdsub_paren()
+        if nxt == "{":
+            return self._read_braced_param()
+        if nxt in SPECIAL_PARAMS and not nxt.isdigit():
+            self._advance(2)
+            return Param(nxt)
+        if nxt.isdigit():
+            self._advance(2)
+            return Param(nxt)
+        if nxt.isalpha() or nxt == "_":
+            j = self.pos + 1
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            name = src[self.pos + 1 : j]
+            self._advance(j - self.pos)
+            return Param(name)
+        # lone $ is literal
+        self._advance()
+        return Lit("$")
+
+    def _try_read_arith(self) -> Optional[ArithSub]:
+        """Read ``$((expr))``.  Returns None when it is really ``$( (...)``
+        (a command substitution containing a subshell): we detect that by
+        scanning for the matching ``))`` with paren balancing; if the
+        balance closes as a single ``)`` first, it was a cmdsub."""
+        save_pos, save_line = self.pos, self.line
+        self._advance(3)  # "$(("
+        parts: list[WordPart] = []
+        lit: list[str] = []
+
+        def flush() -> None:
+            if lit:
+                parts.append(Lit("".join(lit)))
+                lit.clear()
+
+        depth = 0
+        src, n = self.src, len(self.src)
+        while self.pos < n:
+            c = src[self.pos]
+            if c == "(":
+                depth += 1
+                lit.append(c)
+                self._advance()
+            elif c == ")":
+                if depth == 0:
+                    if self.pos + 1 < n and src[self.pos + 1] == ")":
+                        self._advance(2)
+                        flush()
+                        return ArithSub(tuple(parts))
+                    # single close paren: it was $( (...) ...) -- back off
+                    self.pos, self.line = save_pos, save_line
+                    return None
+                depth -= 1
+                lit.append(c)
+                self._advance()
+            elif c == "$":
+                flush()
+                parts.append(self._read_dollar(in_dquotes=False))
+            elif c == "`":
+                flush()
+                parts.append(self._read_backtick())
+            elif c == "'":
+                flush()
+                parts.append(self._read_single_quoted())
+            elif c == '"':
+                flush()
+                parts.append(self._read_double_quoted())
+            elif c == "\\" and self.pos + 1 < n and src[self.pos + 1] == "\n":
+                self._advance(2)
+            else:
+                lit.append(c)
+                self._advance()
+        raise self._error("unterminated arithmetic expansion")
+
+    def _read_cmdsub_paren(self) -> CmdSub:
+        if self._parse_command is None:
+            raise self._error("command substitution requires a parser")
+        self._advance(2)  # "$("
+        command, new_pos = self._parse_command(self.src, self.pos, ")")
+        self.line += self.src.count("\n", self.pos, new_pos)
+        self.pos = new_pos
+        return CmdSub(command)
+
+    def _read_backtick(self) -> CmdSub:
+        assert self.src[self.pos] == "`"
+        self._advance()
+        raw: list[str] = []
+        src, n = self.src, len(self.src)
+        while True:
+            if self.pos >= n:
+                raise self._error("unterminated backquote")
+            c = src[self.pos]
+            if c == "`":
+                self._advance()
+                break
+            if c == "\\" and self.pos + 1 < n and src[self.pos + 1] in "$`\\":
+                raw.append(src[self.pos + 1])
+                self._advance(2)
+            else:
+                raw.append(c)
+                self._advance()
+        if self._parse_command is None:
+            raise self._error("command substitution requires a parser")
+        body = "".join(raw)
+        command, end = self._parse_command(body, 0, None)
+        if end < len(body):
+            raise self._error("trailing characters in backquote substitution")
+        return CmdSub(command, backtick=True)
+
+    def _read_braced_param(self) -> Param:
+        assert self.src.startswith("${", self.pos)
+        self._advance(2)
+        src, n = self.src, len(self.src)
+        if self.pos < n and src[self.pos] == "#":
+            # ${#x} length -- but ${#} is $# and ${#-} etc. are ops on '#'
+            j = self.pos + 1
+            if j < n and (src[j].isalnum() or src[j] == "_" or src[j] in "@*"):
+                name = self._read_param_name(j)
+                if self.pos < n and src[self.pos] == "}":
+                    self._advance()
+                    return Param(name, "length")
+                raise self._error("bad ${#name} expansion")
+        name_start = self.pos
+        if self.pos < n and (src[self.pos] in SPECIAL_PARAMS and not src[self.pos].isalnum()):
+            name = src[self.pos]
+            self._advance()
+        elif self.pos < n and src[self.pos].isdigit():
+            j = self.pos
+            while j < n and src[j].isdigit():
+                j += 1
+            name = src[self.pos : j]
+            self._advance(j - self.pos)
+        else:
+            name = self._read_param_name(self.pos)
+        if name_start == self.pos and not name:
+            raise self._error("bad parameter expansion")
+        if self.pos >= n:
+            raise self._error("unterminated ${")
+        c = src[self.pos]
+        if c == "}":
+            self._advance()
+            return Param(name)
+        # operator
+        op = ""
+        if c == ":":
+            if self.pos + 1 >= n or src[self.pos + 1] not in "-=?+":
+                raise self._error("bad ':' in parameter expansion")
+            op = ":" + src[self.pos + 1]
+            self._advance(2)
+        elif c in "-=?+":
+            op = c
+            self._advance()
+        elif c in "%#":
+            if self.pos + 1 < n and src[self.pos + 1] == c:
+                op = c * 2
+                self._advance(2)
+            else:
+                op = c
+                self._advance()
+        else:
+            raise self._error(f"bad parameter operator {c!r}")
+        operand = self._read_param_operand()
+        return Param(name, op, operand)
+
+    def _read_param_name(self, start: int) -> str:
+        src, n = self.src, len(self.src)
+        j = start
+        while j < n and (src[j].isalnum() or src[j] == "_"):
+            j += 1
+        name = src[start:j]
+        if not is_name(name):
+            raise self._error(f"bad parameter name {name!r}")
+        self.line += src.count("\n", self.pos, j)
+        self.pos = j
+        return name
+
+    def _read_param_operand(self) -> Word:
+        """Read the word operand of ``${name<op>word}`` up to the matching
+        unquoted ``}``."""
+        parts: list[WordPart] = []
+        lit: list[str] = []
+
+        def flush() -> None:
+            if lit:
+                parts.append(Lit("".join(lit)))
+                lit.clear()
+
+        src, n = self.src, len(self.src)
+        depth = 0
+        while True:
+            if self.pos >= n:
+                raise self._error("unterminated ${...}")
+            c = src[self.pos]
+            if c == "}" and depth == 0:
+                self._advance()
+                break
+            if c == "{":
+                depth += 1
+                lit.append(c)
+                self._advance()
+            elif c == "}":
+                depth -= 1
+                lit.append(c)
+                self._advance()
+            elif c == "'":
+                flush()
+                parts.append(self._read_single_quoted())
+            elif c == '"':
+                flush()
+                parts.append(self._read_double_quoted())
+            elif c == "\\":
+                if self.pos + 1 >= n:
+                    raise self._error("unterminated ${...}")
+                if src[self.pos + 1] == "\n":
+                    self._advance(2)
+                    continue
+                flush()
+                parts.append(Escaped(src[self.pos + 1]))
+                self._advance(2)
+            elif c == "$":
+                flush()
+                parts.append(self._read_dollar(in_dquotes=False))
+            elif c == "`":
+                flush()
+                parts.append(self._read_backtick())
+            else:
+                lit.append(c)
+                self._advance()
+        flush()
+        return Word(tuple(parts))
+
+    # -- here-documents -------------------------------------------------------
+
+    def _gather_heredocs(self) -> None:
+        while self._pending_heredocs:
+            pending = self._pending_heredocs.pop(0)
+            body = self._read_heredoc_body(pending)
+            pending.resolve(body)
+
+    def _read_heredoc_body(self, pending: _PendingHeredoc) -> Word:
+        src, n = self.src, len(self.src)
+        lines: list[str] = []
+        while True:
+            if self.pos >= n:
+                raise self._error(f"here-document delimited by EOF (wanted {pending.delimiter!r})")
+            eol = src.find("\n", self.pos)
+            if eol < 0:
+                eol = n
+            line = src[self.pos : eol]
+            self._advance(min(eol + 1, n) - self.pos)
+            check = line.lstrip("\t") if pending.strip_tabs else line
+            if check == pending.delimiter:
+                break
+            lines.append(line.lstrip("\t") if pending.strip_tabs else line)
+        text = "".join(line + "\n" for line in lines)
+        if pending.quoted:
+            return Word((SingleQuoted(text),)) if text else Word((SingleQuoted(""),))
+        return self._parse_heredoc_expansions(text)
+
+    def _parse_heredoc_expansions(self, text: str) -> Word:
+        """Here-doc bodies expand $, backticks, and backslash before
+        ``$ \\` \\\\`` and newline -- like double quotes without the quotes."""
+        sub = Lexer(text, parse_command=self._parse_command)
+        parts: list[WordPart] = []
+        lit: list[str] = []
+
+        def flush() -> None:
+            if lit:
+                parts.append(Lit("".join(lit)))
+                lit.clear()
+
+        n = len(text)
+        while sub.pos < n:
+            c = text[sub.pos]
+            if c == "\\":
+                if sub.pos + 1 >= n:
+                    lit.append("\\")
+                    sub.pos += 1
+                    continue
+                nxt = text[sub.pos + 1]
+                if nxt == "\n":
+                    sub._advance(2)
+                elif nxt in "$`\\":
+                    flush()
+                    parts.append(Escaped(nxt))
+                    sub._advance(2)
+                else:
+                    lit.append("\\")
+                    sub._advance()
+            elif c == "$":
+                flush()
+                parts.append(sub._read_dollar(in_dquotes=True))
+            elif c == "`":
+                flush()
+                parts.append(sub._read_backtick())
+            else:
+                lit.append(c)
+                sub._advance()
+        flush()
+        if not parts:
+            parts.append(Lit(""))
+        return Word((DoubleQuoted(tuple(parts)),))

@@ -1,0 +1,308 @@
+"""Unparser: AST -> shell source that re-parses to an equal AST.
+
+This is the other half of the libdash interface: PaSh-style tools parse a
+script, rewrite the AST, and unparse the optimized program back to shell.
+The invariant tested by the property suite is ``parse(unparse(t)) == t``.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AndOr,
+    ArithSub,
+    Assign,
+    BraceGroup,
+    Case,
+    CmdSub,
+    Command,
+    CommandList,
+    DoubleQuoted,
+    Escaped,
+    For,
+    FuncDef,
+    If,
+    Lit,
+    Param,
+    Pipeline,
+    Redirect,
+    SimpleCommand,
+    SingleQuoted,
+    Subshell,
+    While,
+    Word,
+)
+
+_DQ_ESCAPES = set('$`"\\')
+#: Characters that must be escaped when emitted as an unquoted literal.
+_UNQUOTED_SPECIALS = set(" \t\n|&;<>()$`\\\"'*?[]#~={}")
+
+
+def unparse_word(word: Word) -> str:
+    out: list[str] = []
+    for part in word.parts:
+        out.append(_unparse_part(part, in_dquotes=False))
+    return "".join(out)
+
+
+def _unparse_part(part, in_dquotes: bool) -> str:
+    if isinstance(part, Lit):
+        return part.text
+    if isinstance(part, SingleQuoted):
+        if "'" not in part.text:
+            return "'" + part.text + "'"
+        # a single quote cannot appear inside '...'; use the '\'' idiom
+        # (re-parses as multiple parts with the same expansion)
+        return "'" + part.text.replace("'", "'\\''") + "'"
+    if isinstance(part, Escaped):
+        if in_dquotes and part.char not in _DQ_ESCAPES:
+            # inside dquotes only $ ` " \ may carry a backslash; re-quote
+            return "\\" + part.char if part.char in _DQ_ESCAPES else part.char
+        return "\\" + part.char
+    if isinstance(part, DoubleQuoted):
+        inner = "".join(_unparse_part(p, in_dquotes=True) for p in part.parts)
+        return '"' + inner + '"'
+    if isinstance(part, Param):
+        return _unparse_param(part)
+    if isinstance(part, CmdSub):
+        inner = unparse(part.command)
+        # a here-doc body inside the substitution must be terminated by a
+        # newline before the closing paren
+        close = "\n)" if "\n" in inner else ")"
+        return "$(" + inner + close
+    if isinstance(part, ArithSub):
+        inner = "".join(_unparse_part(p, in_dquotes=False) for p in part.parts)
+        return "$((" + inner + "))"
+    raise TypeError(f"unknown word part {part!r}")
+
+
+def _unparse_param(param: Param) -> str:
+    if param.op == "length":
+        return "${#" + param.name + "}"
+    if param.op == "":
+        # brace the common case defensively: $x followed by a letter would
+        # change meaning, so always emit ${x} for named parameters.
+        if len(param.name) == 1 and not (param.name.isalnum() or param.name == "_"):
+            return "$" + param.name
+        return "${" + param.name + "}"
+    operand = unparse_word(param.word) if param.word is not None else ""
+    return "${" + param.name + param.op + operand + "}"
+
+
+def _unparse_redirect(redirect: Redirect) -> str:
+    fd = "" if redirect.fd is None else str(redirect.fd)
+    if redirect.op in ("<<", "<<-"):
+        # Re-emit here-docs as quoted single-word redirections via printf is
+        # invasive; instead emit the heredoc again with a fresh delimiter.
+        return _unparse_heredoc(redirect, fd)
+    return f"{fd}{redirect.op}{unparse_word(redirect.target)}"
+
+
+def _unparse_heredoc(redirect: Redirect, fd: str) -> str:
+    # Heredocs need their body placed after the next newline; the statement
+    # unparser handles that via _HeredocCollector.  This function only emits
+    # the operator part.
+    return f"{fd}{redirect.op}{unparse_word(redirect.target)}"
+
+
+class _Emitter:
+    """Accumulates source text, deferring heredoc bodies to line ends."""
+
+    def __init__(self) -> None:
+        self.chunks: list[str] = []
+        self.pending_heredocs: list[Redirect] = []
+
+    def emit(self, text: str) -> None:
+        self.chunks.append(text)
+
+    def emit_redirect(self, redirect: Redirect) -> None:
+        self.emit(" " + _unparse_redirect(redirect))
+        if redirect.op in ("<<", "<<-"):
+            self.pending_heredocs.append(redirect)
+
+    def end_statement(self) -> None:
+        """Flush pending here-document bodies (called before a newline)."""
+        if not self.pending_heredocs:
+            return
+        pending, self.pending_heredocs = self.pending_heredocs, []
+        for redirect in pending:
+            delim = _heredoc_delimiter_text(redirect)
+            body = _heredoc_body_text(redirect)
+            self.emit("\n" + body + delim)
+        # caller emits the newline separator itself
+
+    def newline(self) -> None:
+        self.end_statement()
+        self.emit("\n")
+
+    def result(self) -> str:
+        self.end_statement()
+        return "".join(self.chunks)
+
+
+def _heredoc_delimiter_text(redirect: Redirect) -> str:
+    word = redirect.target
+    out = []
+    for part in word.parts:
+        if isinstance(part, Lit):
+            out.append(part.text)
+        elif isinstance(part, SingleQuoted):
+            out.append(part.text)
+        elif isinstance(part, Escaped):
+            out.append(part.char)
+        elif isinstance(part, DoubleQuoted):
+            for q in part.parts:
+                if isinstance(q, Lit):
+                    out.append(q.text)
+                elif isinstance(q, Escaped):
+                    out.append(q.char)
+    return "".join(out)
+
+
+def _heredoc_body_text(redirect: Redirect) -> str:
+    body = redirect.heredoc
+    if body is None:
+        return ""
+    if len(body.parts) == 1 and isinstance(body.parts[0], SingleQuoted):
+        return body.parts[0].text
+    out: list[str] = []
+    parts = body.parts
+    if len(parts) == 1 and isinstance(parts[0], DoubleQuoted):
+        parts = parts[0].parts
+    for part in parts:
+        if isinstance(part, Lit):
+            out.append(part.text)
+        elif isinstance(part, Escaped):
+            out.append("\\" + part.char)
+        else:
+            out.append(_unparse_part(part, in_dquotes=True))
+    return "".join(out)
+
+
+def _unparse_into(cmd: Command, em: _Emitter) -> None:
+    if isinstance(cmd, SimpleCommand):
+        first = True
+        for assign in cmd.assigns:
+            em.emit(("" if first else " ") + assign.name + "=" + unparse_word(assign.word))
+            first = False
+        for word in cmd.words:
+            em.emit(("" if first else " ") + unparse_word(word))
+            first = False
+        for redirect in cmd.redirects:
+            if first:
+                em.emit(_unparse_redirect(redirect).lstrip())
+                if redirect.op in ("<<", "<<-"):
+                    em.pending_heredocs.append(redirect)
+                first = False
+            else:
+                em.emit_redirect(redirect)
+        if first:
+            em.emit(":")  # empty command cannot be expressed; use no-op
+    elif isinstance(cmd, Pipeline):
+        if cmd.negated:
+            em.emit("! ")
+        for i, sub in enumerate(cmd.commands):
+            if i:
+                em.emit(" | ")
+            _unparse_into(sub, em)
+    elif isinstance(cmd, AndOr):
+        _unparse_into(cmd.left, em)
+        em.emit(f" {cmd.op} ")
+        _unparse_into(cmd.right, em)
+    elif isinstance(cmd, CommandList):
+        if not cmd.items:
+            em.emit(":")
+            return
+        for i, item in enumerate(cmd.items):
+            if i:
+                em.emit(" ")
+            _unparse_into(item.command, em)
+            if item.is_async:
+                em.emit(" &")
+            elif i + 1 < len(cmd.items):
+                em.emit(";")
+        # trailing ';' omitted
+    elif isinstance(cmd, Subshell):
+        em.emit("(")
+        _unparse_into(cmd.body, em)
+        em.emit(")")
+        for redirect in cmd.redirects:
+            em.emit_redirect(redirect)
+    elif isinstance(cmd, BraceGroup):
+        em.emit("{ ")
+        _unparse_into(cmd.body, em)
+        em.emit("; }")
+        for redirect in cmd.redirects:
+            em.emit_redirect(redirect)
+    elif isinstance(cmd, If):
+        em.emit("if ")
+        _unparse_into(cmd.cond, em)
+        em.emit("; then ")
+        _unparse_into(cmd.then_body, em)
+        for econd, ebody in cmd.elifs:
+            em.emit("; elif ")
+            _unparse_into(econd, em)
+            em.emit("; then ")
+            _unparse_into(ebody, em)
+        if cmd.else_body is not None:
+            em.emit("; else ")
+            _unparse_into(cmd.else_body, em)
+        em.emit("; fi")
+        for redirect in cmd.redirects:
+            em.emit_redirect(redirect)
+    elif isinstance(cmd, While):
+        em.emit("until " if cmd.until else "while ")
+        _unparse_into(cmd.cond, em)
+        em.emit("; do ")
+        _unparse_into(cmd.body, em)
+        em.emit("; done")
+        for redirect in cmd.redirects:
+            em.emit_redirect(redirect)
+    elif isinstance(cmd, For):
+        em.emit(f"for {cmd.var}")
+        if cmd.words is not None:
+            em.emit(" in")
+            for word in cmd.words:
+                em.emit(" " + unparse_word(word))
+        em.emit("; do ")
+        _unparse_into(cmd.body, em)
+        em.emit("; done")
+        for redirect in cmd.redirects:
+            em.emit_redirect(redirect)
+    elif isinstance(cmd, Case):
+        em.emit("case " + unparse_word(cmd.word) + " in ")
+        for item in cmd.items:
+            em.emit("(" + " | ".join(unparse_word(p) for p in item.patterns) + ") ")
+            if item.body is not None:
+                _unparse_into(item.body, em)
+            em.emit(";; ")
+        em.emit("esac")
+        for redirect in cmd.redirects:
+            em.emit_redirect(redirect)
+    elif isinstance(cmd, FuncDef):
+        em.emit(cmd.name + "() ")
+        body = cmd.body
+        if isinstance(body, (SimpleCommand, Pipeline, AndOr, CommandList)):
+            em.emit("{ ")
+            _unparse_into(body, em)
+            em.emit("; }")
+        else:
+            _unparse_into(body, em)
+    else:
+        raise TypeError(f"unknown command node {cmd!r}")
+
+
+def unparse(cmd: Command) -> str:
+    """Render a command AST back to POSIX shell source."""
+    em = _Emitter()
+    if isinstance(cmd, CommandList):
+        for i, item in enumerate(cmd.items):
+            if i:
+                em.newline()
+            _unparse_into(item.command, em)
+            if item.is_async:
+                em.emit(" &")
+        if not cmd.items:
+            em.emit(":")
+    else:
+        _unparse_into(cmd, em)
+    return em.result()

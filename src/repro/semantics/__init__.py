@@ -1,0 +1,28 @@
+"""S2 — executable POSIX shell semantics (the Smoosh role): expansion,
+arithmetic, patterns, interpreter, and the purity analysis Jash needs for
+sound early expansion."""
+
+from .arith import ArithError, evaluate as arith_evaluate, has_side_effects
+from .control import FuncReturn, LoopBreak, LoopContinue, ShellExit
+from .expansion import (
+    ExpansionError,
+    expand_word,
+    expand_word_single,
+    expand_words,
+    split_fields,
+)
+from .interp import Interpreter
+from .patterns import match as pattern_match, remove_affix, translate
+from .purity import PurityReport, check_word, check_words
+from .state import ShellError, ShellState, Variable
+
+__all__ = [
+    "ArithError", "arith_evaluate", "has_side_effects",
+    "FuncReturn", "LoopBreak", "LoopContinue", "ShellExit",
+    "ExpansionError", "expand_word", "expand_word_single", "expand_words",
+    "split_fields",
+    "Interpreter",
+    "pattern_match", "remove_affix", "translate",
+    "PurityReport", "check_word", "check_words",
+    "ShellError", "ShellState", "Variable",
+]

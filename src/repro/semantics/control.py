@@ -1,0 +1,27 @@
+"""Control-flow signals used inside the interpreter."""
+
+from __future__ import annotations
+
+
+class LoopBreak(Exception):
+    def __init__(self, levels: int = 1):
+        super().__init__(levels)
+        self.levels = levels
+
+
+class LoopContinue(Exception):
+    def __init__(self, levels: int = 1):
+        super().__init__(levels)
+        self.levels = levels
+
+
+class FuncReturn(Exception):
+    def __init__(self, status: int):
+        super().__init__(status)
+        self.status = status
+
+
+class ShellExit(Exception):
+    def __init__(self, status: int):
+        super().__init__(status)
+        self.status = status

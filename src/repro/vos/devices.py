@@ -1,0 +1,155 @@
+"""Storage device models.
+
+The disk model is the load-bearing part of the Figure 1 reproduction: it
+captures throughput limits, request-granularity IOPS limits, gp2-style
+burst credit buckets, and the loss of sequential locality when many
+streams interleave on one spindle/volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DiskSpec:
+    """Static parameters of a block device.
+
+    throughput_bps     peak sequential bandwidth (bytes/second)
+    base_iops          sustained IOPS once burst credits are exhausted
+    burst_iops         IOPS while burst credits remain (== base_iops when
+                       the volume has no burst bucket, e.g. gp3)
+    burst_credit_ops   capacity of the credit bucket, in IO operations
+    refill_ops_per_s   credit refill rate (gp2 refills at the base rate)
+    request_bytes      bytes served by one sequential IO operation
+    min_request_bytes  floor on the effective request size under
+                       interleaved (multi-stream) access
+    """
+
+    name: str = "disk"
+    throughput_bps: float = 250e6
+    base_iops: float = 3000.0
+    burst_iops: float = 3000.0
+    burst_credit_ops: float = 0.0
+    refill_ops_per_s: float = 0.0
+    request_bytes: int = 128 * 1024
+    min_request_bytes: int = 4 * 1024
+
+
+def gp2_spec(
+    throughput_bps: float = 250e6,
+    base_iops: float = 100.0,
+    burst_iops: float = 3000.0,
+    burst_credit_ops: float = 3000.0,
+) -> DiskSpec:
+    """An AWS gp2-style volume: low base IOPS with a burst bucket.
+
+    The paper's 'Standard' instance has a gp2 disk: "100 IOPS that bursts
+    to 3K".  Credits refill at the base rate.
+    """
+    return DiskSpec(
+        name="gp2",
+        throughput_bps=throughput_bps,
+        base_iops=base_iops,
+        burst_iops=burst_iops,
+        burst_credit_ops=burst_credit_ops,
+        refill_ops_per_s=base_iops,
+    )
+
+
+def gp3_spec(throughput_bps: float = 250e6, iops: float = 15000.0) -> DiskSpec:
+    """An AWS gp3-style volume: flat 15K IOPS, no burst bucket."""
+    return DiskSpec(
+        name="gp3",
+        throughput_bps=throughput_bps,
+        base_iops=iops,
+        burst_iops=iops,
+    )
+
+
+@dataclass
+class _DiskRequest:
+    bytes: int
+    ops: float
+    process: object  # Process to wake with `result` when service completes
+    result: object = None
+    start: float = 0.0
+
+
+class Disk:
+    """FIFO-served block device with a token-bucket burst model.
+
+    Requests are serialized (one in service at a time), which is how
+    contention between parallel readers manifests.  The *effective* request
+    size shrinks as more distinct streams touch the device concurrently,
+    modelling lost sequential locality: `k` interleaved readers of one
+    volume make the access pattern k-way random.
+    """
+
+    def __init__(self, spec: DiskSpec):
+        self.spec = spec
+        self.credits = spec.burst_credit_ops
+        self._last_refill = 0.0
+        self.queue: list[_DiskRequest] = []
+        self.busy_until: float | None = None
+        self.current: _DiskRequest | None = None
+        self.active_streams = 0  # open file handles that performed IO
+        # accounting for benchmarks / introspection
+        self.total_bytes = 0
+        self.total_ops = 0.0
+        self.busy_time = 0.0
+
+    # -- stream locality -----------------------------------------------------
+
+    def effective_request_bytes(self) -> int:
+        streams = max(1, self.active_streams)
+        eff = self.spec.request_bytes // streams
+        return max(self.spec.min_request_bytes, eff)
+
+    def ops_for(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        eff = self.effective_request_bytes()
+        return max(1.0, nbytes / eff)
+
+    # -- credit bucket ---------------------------------------------------------
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        if self.spec.refill_ops_per_s > 0:
+            self.credits = min(
+                self.spec.burst_credit_ops,
+                self.credits + elapsed * self.spec.refill_ops_per_s,
+            )
+
+    def current_iops(self) -> float:
+        if self.credits > 0:
+            return self.spec.burst_iops
+        return self.spec.base_iops
+
+    def service_time(self, request: _DiskRequest, now: float) -> float:
+        """Seconds to serve `request` starting at `now`; drains credits."""
+        self._refill(now)
+        bw_time = request.bytes / self.spec.throughput_bps
+        ops = request.ops
+        iops_time = 0.0
+        remaining = ops
+        # part of the request may be served at burst rate, the rest at base
+        if self.credits > 0 and self.spec.burst_iops > self.spec.base_iops:
+            burst_ops = min(remaining, self.credits)
+            iops_time += burst_ops / self.spec.burst_iops
+            self.credits -= burst_ops
+            remaining -= burst_ops
+            if remaining > 0:
+                # exhausted mid-request: remainder at (base + refill) rate;
+                # refill happens concurrently so net service is base rate
+                iops_time += remaining / self.spec.base_iops
+        else:
+            iops_time = remaining / self.current_iops()
+            self.credits = max(0.0, self.credits - ops)
+        self.total_bytes += request.bytes
+        self.total_ops += ops
+        duration = max(bw_time, iops_time)
+        self.busy_time += duration
+        return duration

@@ -1,0 +1,39 @@
+"""Error types for the virtual OS."""
+
+from __future__ import annotations
+
+
+class VosError(Exception):
+    """Base class for virtual-OS errors (maps to errno-style failures)."""
+
+
+class FileNotFound(VosError):
+    pass
+
+
+class IsADirectory(VosError):
+    pass
+
+
+class NotADirectory(VosError):
+    pass
+
+
+class BadFileDescriptor(VosError):
+    pass
+
+
+class BrokenPipe(VosError):
+    """Write to a pipe whose read end has been closed (SIGPIPE analogue)."""
+
+
+class NoSuchProcess(VosError):
+    pass
+
+
+class ReadOnlyHandle(VosError):
+    pass
+
+
+class WriteOnlyHandle(VosError):
+    pass

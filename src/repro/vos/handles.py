@@ -1,0 +1,165 @@
+"""File-descriptor handle objects.
+
+A handle is the kernel-side object an fd refers to.  Handles are
+duplicated by reference (``dup()``) with a shared open-count, mirroring
+Unix file-description semantics: a pipe write end is "closed" only when
+every dup of it has been closed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .devices import Disk
+from .errors import ReadOnlyHandle, WriteOnlyHandle
+from .fs import FileNode
+from .pipes import Pipe
+
+
+class Handle:
+    """Base class.  ``refcount`` counts fd-table references."""
+
+    readable = False
+    writable = False
+
+    def __init__(self) -> None:
+        self.refcount = 0
+        self.closed = False
+
+    def dup(self) -> "Handle":
+        self.refcount += 1
+        return self
+
+    def release(self) -> bool:
+        """Drop one reference; returns True when fully closed."""
+        self.refcount -= 1
+        if self.refcount <= 0 and not self.closed:
+            self.closed = True
+            self._on_close()
+            return True
+        return False
+
+    def _on_close(self) -> None:  # pragma: no cover - overridden
+        pass
+
+
+class NullHandle(Handle):
+    """``/dev/null``: reads EOF, swallows writes."""
+
+    readable = True
+    writable = True
+
+
+class StringSource(Handle):
+    """An in-memory read-only byte source (here-documents)."""
+
+    readable = True
+
+    def __init__(self, data: bytes):
+        super().__init__()
+        self.data = data
+        self.offset = 0
+
+    def read_now(self, nbytes: int) -> bytes:
+        chunk = self.data[self.offset : self.offset + nbytes]
+        self.offset += len(chunk)
+        return bytes(chunk)
+
+
+class Collector(Handle):
+    """An in-memory write sink (command-substitution capture, test output)."""
+
+    writable = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.chunks: list[bytes] = []
+
+    def write_now(self, data: bytes) -> int:
+        self.chunks.append(bytes(data))
+        return len(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class FileHandle(Handle):
+    """A handle onto an fs FileNode, charged against a Disk."""
+
+    def __init__(self, node: FileNode, disk: Optional[Disk], path: str,
+                 readable: bool, writable: bool, append: bool = False):
+        super().__init__()
+        self.node = node
+        self.disk = disk
+        self.path = path
+        self.readable = readable
+        self.writable = writable
+        self.append = append
+        self.offset = len(node.data) if append else 0
+        self._stream_counted = False
+
+    # stream-locality bookkeeping: a handle becomes an "active stream" on
+    # its first IO and stops being one when closed.
+    def note_io(self) -> None:
+        if self.disk is not None and not self._stream_counted:
+            self._stream_counted = True
+            self.disk.active_streams += 1
+
+    def _on_close(self) -> None:
+        if self.disk is not None and self._stream_counted:
+            self.disk.active_streams -= 1
+
+    def read_now(self, nbytes: int) -> bytes:
+        if not self.readable:
+            raise WriteOnlyHandle(self.path)
+        data = self.node.data[self.offset : self.offset + nbytes]
+        self.offset += len(data)
+        return bytes(data)
+
+    def eof(self) -> bool:
+        return self.offset >= len(self.node.data)
+
+    def write_now(self, data: bytes, now: float) -> int:
+        if not self.writable:
+            raise ReadOnlyHandle(self.path)
+        if self.append:
+            self.node.data.extend(data)
+            self.offset = len(self.node.data)
+        else:
+            end = self.offset + len(data)
+            if self.offset == len(self.node.data):
+                self.node.data.extend(data)
+            else:
+                self.node.data[self.offset : end] = data
+            self.offset = end
+        self.node.mtime = now
+        return len(data)
+
+
+class PipeReader(Handle):
+    readable = True
+
+    def __init__(self, pipe: Pipe):
+        super().__init__()
+        self.pipe = pipe
+        pipe.readers += 1
+
+    def _on_close(self) -> None:
+        self.pipe.readers -= 1
+
+
+class PipeWriter(Handle):
+    writable = True
+
+    def __init__(self, pipe: Pipe):
+        super().__init__()
+        self.pipe = pipe
+        pipe.writers += 1
+
+    def _on_close(self) -> None:
+        self.pipe.writers -= 1
+
+
+def make_pipe(capacity: int = 64 * 1024) -> tuple[PipeReader, PipeWriter]:
+    pipe = Pipe(capacity)
+    return PipeReader(pipe), PipeWriter(pipe)

@@ -1,0 +1,539 @@
+"""The discrete-event kernel.
+
+Processes are cooperative generators; the kernel advances a virtual clock
+driven by three resource models:
+
+* **CPU**: per-node processor sharing — ``k`` runnable bursts on an
+  ``n``-core node each progress at rate ``min(1, n/k)``.
+* **Disk**: per-node FIFO device with throughput + IOPS limits and a
+  burst-credit bucket (:mod:`repro.vos.devices`).
+* **Pipes**: bounded buffers; readers/writers block, ``BrokenPipe`` is
+  thrown into writers whose reader vanished (SIGPIPE analogue).
+
+``Kernel.run()`` executes until no process can make progress and returns
+the virtual time consumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Optional
+
+from .devices import Disk, DiskSpec, _DiskRequest
+from .errors import BrokenPipe, NoSuchProcess, VosError
+from .fs import FileSystem, normalize
+from .handles import (
+    Collector,
+    FileHandle,
+    Handle,
+    NullHandle,
+    PipeReader,
+    PipeWriter,
+    StringSource,
+)
+from .pipes import Pipe
+from .process import DONE, NEW, RUNNING, Process
+from .syscalls import (
+    CloseReq,
+    CpuReq,
+    DupReq,
+    NetSendReq,
+    OpenReq,
+    ReadReq,
+    SleepReq,
+    SpawnReq,
+    WaitReq,
+    WriteReq,
+)
+
+#: Exit status for a process killed by SIGPIPE.
+SIGPIPE_STATUS = 141
+
+_EPS = 1e-12
+
+
+class Node:
+    """One machine in the simulation: cores + filesystem + disk."""
+
+    def __init__(self, name: str, cores: int, cpu_speed: float,
+                 disk_spec: DiskSpec, fs: Optional[FileSystem] = None):
+        self.name = name
+        self.cores = cores
+        self.cpu_speed = cpu_speed
+        self.fs = fs if fs is not None else FileSystem()
+        self.disk = Disk(disk_spec)
+        # processor-sharing state
+        self.cpu_active: dict[Process, float] = {}  # remaining core-seconds
+        self.cpu_last_update = 0.0
+        self.cpu_busy_time = 0.0
+
+    def cpu_rate(self) -> float:
+        k = len(self.cpu_active)
+        if k == 0:
+            return 1.0
+        return min(1.0, self.cores / k)
+
+
+class Kernel:
+    def __init__(self, node: Optional[Node] = None):
+        self.now = 0.0
+        self.nodes: dict[str, Node] = {}
+        if node is not None:
+            self.add_node(node)
+        self.processes: dict[int, Process] = {}
+        self._next_pid = 1
+        self._ready: deque = deque()  # (process, value, exception)
+        self._timers: list = []  # heap of (time, seq, process, value)
+        self._timer_seq = 0
+        self.network = None  # installed by repro.distributed for clusters
+        self._net_queue: list = []
+        self.trace: Optional[Callable[[str], None]] = None
+        self.steps = 0
+
+    # -- topology ----------------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        node.cpu_last_update = self.now
+        self.nodes[node.name] = node
+        return node
+
+    @property
+    def main_node(self) -> Node:
+        return next(iter(self.nodes.values()))
+
+    # -- process lifecycle ---------------------------------------------------------
+
+    def create_process(self, target: Callable, name: str = "proc",
+                       node: Optional[Node] = None, cwd: str = "/",
+                       fds: Optional[dict[int, Handle]] = None) -> Process:
+        node = node or self.main_node
+        proc = Process(self._next_pid, name, node, self)
+        self._next_pid += 1
+        proc.cwd = cwd
+        for fd, handle in (fds or {}).items():
+            proc.fds[fd] = handle.dup()
+        proc.gen = target(proc)
+        proc.state = RUNNING
+        proc.start_time = self.now
+        self.processes[proc.pid] = proc
+        self._ready.append((proc, None, None))
+        return proc
+
+    def kill_process(self, proc: Process, status: int = 137) -> None:
+        """Forcibly terminate a process (SIGKILL analogue): close its fds
+        (waking pipe peers), record the status, wake waiters."""
+        if proc.state == DONE:
+            return
+        self._advance_cpu(proc.node)
+        proc.node.cpu_active.pop(proc, None)
+        self._exit(proc, status, error="killed")
+
+    def processes_on(self, node: Node) -> list[Process]:
+        return [p for p in self.processes.values()
+                if p.node is node and p.state != DONE]
+
+    def _exit(self, proc: Process, status: int, error: Optional[str] = None) -> None:
+        proc.state = DONE
+        proc.exit_status = int(status) & 0xFF if status is not None else 0
+        if status is not None and not (0 <= int(status) <= 255):
+            proc.exit_status = int(status) & 0xFF
+        proc.error = error
+        proc.end_time = self.now
+        node = proc.node
+        if proc in node.cpu_active:  # pragma: no cover - defensive
+            self._advance_cpu(node)
+            del node.cpu_active[proc]
+        for fd in list(proc.fds):
+            self._close_fd(proc, fd)
+        for waiter in proc.waiters:
+            self._ready.append((waiter, proc.exit_status, None))
+        proc.waiters.clear()
+
+    def _close_fd(self, proc: Process, fd: int) -> None:
+        handle = proc.fds.pop(fd, None)
+        if handle is None:
+            return
+        fully = handle.release()
+        if fully:
+            self._handle_closed(handle)
+
+    def _handle_closed(self, handle: Handle) -> None:
+        if isinstance(handle, PipeWriter):
+            pipe = handle.pipe
+            if pipe.writers == 0:
+                self._wake_pipe_readers(pipe)
+        elif isinstance(handle, PipeReader):
+            pipe = handle.pipe
+            if pipe.readers == 0:
+                self._break_pipe_writers(pipe)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self) -> float:
+        """Run until quiescent; returns the final virtual time."""
+        while True:
+            self._drain_ready()
+            t = self._next_event_time()
+            if t is None:
+                break
+            self._advance_to(t)
+        return self.now
+
+    def run_until_process_done(self, proc: Process) -> int:
+        """Convenience: run until a given process exits."""
+        while proc.state != DONE:
+            before = (len(self._ready), self.now, self.steps)
+            self._drain_ready()
+            if proc.state == DONE:
+                break
+            t = self._next_event_time()
+            if t is None:
+                raise RuntimeError(
+                    f"deadlock: {proc} cannot make progress "
+                    f"(blocked processes: {[p for p in self.processes.values() if p.state != DONE]})"
+                )
+            self._advance_to(t)
+        return proc.exit_status or 0
+
+    def _drain_ready(self) -> None:
+        while self._ready:
+            proc, value, exc = self._ready.popleft()
+            if proc.state == DONE:
+                continue
+            self._step(proc, value, exc)
+
+    def _step(self, proc: Process, value=None, exc: Optional[BaseException] = None) -> None:
+        self.steps += 1
+        try:
+            if exc is not None:
+                request = proc.gen.throw(exc)
+            else:
+                request = proc.gen.send(value)
+        except StopIteration as stop:
+            self._exit(proc, stop.value if stop.value is not None else 0)
+        except BrokenPipe:
+            self._exit(proc, SIGPIPE_STATUS)
+        except VosError as err:
+            self._exit(proc, 1, error=f"{type(err).__name__}: {err}")
+        else:
+            self._dispatch(proc, request)
+
+    # -- syscall dispatch -------------------------------------------------------------
+
+    def _dispatch(self, proc: Process, request) -> None:
+        if isinstance(request, CpuReq):
+            self._sys_cpu(proc, request)
+        elif isinstance(request, ReadReq):
+            self._sys_read(proc, request)
+        elif isinstance(request, WriteReq):
+            self._sys_write(proc, request)
+        elif isinstance(request, OpenReq):
+            self._sys_open(proc, request)
+        elif isinstance(request, CloseReq):
+            self._close_fd(proc, request.fd)
+            self._ready.append((proc, None, None))
+        elif isinstance(request, DupReq):
+            self._sys_dup(proc, request)
+        elif isinstance(request, SpawnReq):
+            self._sys_spawn(proc, request)
+        elif isinstance(request, WaitReq):
+            self._sys_wait(proc, request)
+        elif isinstance(request, SleepReq):
+            self._timer_seq += 1
+            heapq.heappush(
+                self._timers,
+                (self.now + max(0.0, request.seconds), self._timer_seq, proc, None),
+            )
+        elif isinstance(request, NetSendReq):
+            self._sys_net_send(proc, request)
+        else:
+            self._ready.append(
+                (proc, None, VosError(f"unknown syscall {request!r}"))
+            )
+
+    # CPU ------------------------------------------------------------------------
+
+    def _sys_cpu(self, proc: Process, request: CpuReq) -> None:
+        node = proc.node
+        work = max(_EPS, request.seconds / node.cpu_speed)
+        self._advance_cpu(node)
+        node.cpu_active[proc] = work
+
+    def _advance_cpu(self, node: Node) -> None:
+        """Account progress of active CPU bursts on `node` up to `self.now`."""
+        elapsed = self.now - node.cpu_last_update
+        node.cpu_last_update = self.now
+        if elapsed <= 0 or not node.cpu_active:
+            return
+        rate = node.cpu_rate()
+        node.cpu_busy_time += elapsed * min(len(node.cpu_active), node.cores)
+        finished = []
+        for p in node.cpu_active:
+            node.cpu_active[p] -= elapsed * rate
+            if node.cpu_active[p] <= _EPS:
+                finished.append(p)
+        for p in finished:
+            del node.cpu_active[p]
+            self._ready.append((p, None, None))
+
+    # IO -----------------------------------------------------------------------------
+
+    def _sys_read(self, proc: Process, request: ReadReq) -> None:
+        try:
+            handle = proc.handle(request.fd)
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        if isinstance(handle, NullHandle):
+            self._ready.append((proc, b"", None))
+        elif isinstance(handle, StringSource):
+            self._ready.append((proc, handle.read_now(request.nbytes), None))
+        elif isinstance(handle, FileHandle):
+            self._file_read(proc, handle, request.nbytes)
+        elif isinstance(handle, PipeReader):
+            self._pipe_read(proc, handle.pipe, request.nbytes)
+        else:
+            self._ready.append(
+                (proc, None, VosError(f"fd {request.fd} not readable"))
+            )
+
+    def _sys_write(self, proc: Process, request: WriteReq) -> None:
+        try:
+            handle = proc.handle(request.fd)
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        data = request.data
+        if isinstance(handle, (NullHandle,)):
+            self._ready.append((proc, len(data), None))
+        elif isinstance(handle, Collector):
+            self._ready.append((proc, handle.write_now(data), None))
+        elif isinstance(handle, FileHandle):
+            self._file_write(proc, handle, data)
+        elif isinstance(handle, PipeWriter):
+            self._pipe_write(proc, handle.pipe, data)
+        else:
+            self._ready.append(
+                (proc, None, VosError(f"fd {request.fd} not writable"))
+            )
+
+    # file IO through the disk ------------------------------------------------------
+
+    def _file_read(self, proc: Process, handle: FileHandle, nbytes: int) -> None:
+        if handle.eof():
+            self._ready.append((proc, b"", None))
+            return
+        handle.note_io()
+        data = handle.read_now(nbytes)
+        disk = handle.disk
+        if disk is None:
+            self._ready.append((proc, data, None))
+            return
+        self._disk_submit(disk, _DiskRequest(len(data), disk.ops_for(len(data)), proc, data))
+
+    def _file_write(self, proc: Process, handle: FileHandle, data: bytes) -> None:
+        handle.note_io()
+        try:
+            n = handle.write_now(data, self.now)
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        disk = handle.disk
+        if disk is None:
+            self._ready.append((proc, n, None))
+            return
+        self._disk_submit(disk, _DiskRequest(n, disk.ops_for(n), proc, n))
+
+    def _disk_submit(self, disk: Disk, request: _DiskRequest) -> None:
+        request.start = self.now
+        if disk.current is None:
+            self._disk_start(disk, request)
+        else:
+            disk.queue.append(request)
+
+    def _disk_start(self, disk: Disk, request: _DiskRequest) -> None:
+        disk.current = request
+        duration = disk.service_time(request, self.now)
+        disk.busy_until = self.now + duration
+
+    def _disk_complete(self, disk: Disk) -> None:
+        request = disk.current
+        disk.current = None
+        disk.busy_until = None
+        if request is not None:
+            self._ready.append((request.process, request.result, None))
+        if disk.queue:
+            self._disk_start(disk, disk.queue.pop(0))
+
+    # pipes --------------------------------------------------------------------------------
+
+    def _pipe_read(self, proc: Process, pipe: Pipe, nbytes: int) -> None:
+        if pipe.buffer:
+            data = pipe.pull(nbytes)
+            self._ready.append((proc, data, None))
+            self._service_pipe_writers(pipe)
+        elif pipe.writers == 0:
+            self._ready.append((proc, b"", None))
+        else:
+            pipe.read_waiters.append((proc, nbytes))
+
+    def _pipe_write(self, proc: Process, pipe: Pipe, data: bytes) -> None:
+        if pipe.readers == 0:
+            self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
+            return
+        accepted = pipe.push(data)
+        if accepted:
+            self._wake_pipe_readers(pipe)
+        if accepted == len(data):
+            self._ready.append((proc, accepted, None))
+        else:
+            pipe.write_waiters.append((proc, data[accepted:], accepted))
+
+    def _wake_pipe_readers(self, pipe: Pipe) -> None:
+        while pipe.read_waiters and (pipe.buffer or pipe.writers == 0):
+            proc, nbytes = pipe.read_waiters.pop(0)
+            if proc.state == DONE:
+                continue
+            data = pipe.pull(nbytes)
+            self._ready.append((proc, data, None))
+        if pipe.read_waiters or not pipe.write_waiters:
+            return
+        self._service_pipe_writers(pipe)
+
+    def _service_pipe_writers(self, pipe: Pipe) -> None:
+        progressed = False
+        while pipe.write_waiters and pipe.space() > 0:
+            proc, remaining, done = pipe.write_waiters.pop(0)
+            if proc.state == DONE:
+                continue
+            accepted = pipe.push(remaining)
+            progressed = progressed or accepted > 0
+            done += accepted
+            if accepted == len(remaining):
+                self._ready.append((proc, done, None))
+            else:
+                pipe.write_waiters.insert(0, (proc, remaining[accepted:], done))
+                break
+        if progressed:
+            self._wake_pipe_readers(pipe)
+
+    def _break_pipe_writers(self, pipe: Pipe) -> None:
+        waiters, pipe.write_waiters = pipe.write_waiters, []
+        for proc, _remaining, _done in waiters:
+            if proc.state != DONE:
+                self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
+
+    # open/dup -------------------------------------------------------------------------------
+
+    def open_handle(self, node: Node, path: str, mode: str, cwd: str = "/") -> Handle:
+        """Create (without installing) a handle for ``path`` on ``node``.
+        Raises VosError on failure.  Used by _sys_open and by the shell
+        interpreter when preparing child fd tables for redirections."""
+        path = normalize(path, cwd)
+        if path == "/dev/null":
+            return NullHandle()
+        if mode == "r":
+            file_node = node.fs.open_node(path)
+            return FileHandle(file_node, node.disk, path, True, False)
+        if mode == "w":
+            file_node = node.fs.open_node(path, create=True, truncate=True,
+                                          mtime=self.now)
+            return FileHandle(file_node, node.disk, path, False, True)
+        if mode == "a":
+            file_node = node.fs.open_node(path, create=True, mtime=self.now)
+            return FileHandle(file_node, node.disk, path, False, True, append=True)
+        if mode == "rw":
+            file_node = node.fs.open_node(path, create=True, mtime=self.now)
+            return FileHandle(file_node, node.disk, path, True, True)
+        raise VosError(f"bad open mode {mode!r}")
+
+    def _sys_open(self, proc: Process, request: OpenReq) -> None:
+        try:
+            handle = self.open_handle(proc.node, request.path, request.mode, proc.cwd)
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        fd = proc.next_fd()
+        proc.fds[fd] = handle.dup()
+        self._ready.append((proc, fd, None))
+
+    def _sys_dup(self, proc: Process, request: DupReq) -> None:
+        try:
+            handle = proc.handle(request.src_fd)
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        if request.dst_fd in proc.fds:
+            self._close_fd(proc, request.dst_fd)
+        proc.fds[request.dst_fd] = handle.dup()
+        self._ready.append((proc, None, None))
+
+    # spawn/wait -----------------------------------------------------------------------------
+
+    def _sys_spawn(self, proc: Process, request: SpawnReq) -> None:
+        node = self.nodes.get(request.node) if request.node else proc.node
+        if node is None:
+            self._ready.append((proc, None, VosError(f"no node {request.node!r}")))
+            return
+        child = self.create_process(
+            request.target,
+            name=request.name,
+            node=node,
+            cwd=request.cwd if request.cwd is not None else proc.cwd,
+            fds=request.fds,
+        )
+        self._ready.append((proc, child.pid, None))
+
+    def _sys_wait(self, proc: Process, request: WaitReq) -> None:
+        child = self.processes.get(request.pid)
+        if child is None:
+            self._ready.append((proc, None, NoSuchProcess(str(request.pid))))
+            return
+        if child.state == DONE:
+            self._ready.append((proc, child.exit_status, None))
+        else:
+            child.waiters.append(proc)
+
+    # network ----------------------------------------------------------------------------------
+
+    def _sys_net_send(self, proc: Process, request: NetSendReq) -> None:
+        if self.network is None:
+            self._ready.append((proc, None, None))
+            return
+        self.network.submit(self, proc, request)
+
+    # time ------------------------------------------------------------------------------------------
+
+    def _next_event_time(self) -> Optional[float]:
+        candidates: list[float] = []
+        for node in self.nodes.values():
+            if node.disk.busy_until is not None:
+                candidates.append(node.disk.busy_until)
+            if node.cpu_active:
+                rate = node.cpu_rate()
+                min_remaining = min(node.cpu_active.values())
+                candidates.append(self.now + min_remaining / rate)
+        if self._timers:
+            candidates.append(self._timers[0][0])
+        if self.network is not None:
+            t = self.network.next_event_time()
+            if t is not None:
+                candidates.append(t)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _advance_to(self, t: float) -> None:
+        self.now = max(self.now, t)
+        for node in self.nodes.values():
+            self._advance_cpu(node)
+            disk = node.disk
+            while disk.busy_until is not None and disk.busy_until <= self.now + _EPS:
+                self._disk_complete(disk)
+        while self._timers and self._timers[0][0] <= self.now + _EPS:
+            _t, _seq, proc, value = heapq.heappop(self._timers)
+            if proc.state != DONE:
+                self._ready.append((proc, value, None))
+        if self.network is not None:
+            self.network.advance_to(self, self.now)

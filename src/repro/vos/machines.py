@@ -1,0 +1,90 @@
+"""Machine profiles.
+
+The paper's Figure 1 ran on AWS c5.2xlarge instances; the 'Standard' one
+had a gp2 EBS volume ("100 IOPS that bursts to 3K"), the 'IO-opt' one a
+gp3 volume (15K IOPS).  The other profiles cover the population §3.2
+mentions: "owners of palm-sized computers to administrators of
+supercomputers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .devices import DiskSpec, gp2_spec, gp3_spec
+from .fs import FileSystem
+from .kernel import Kernel, Node
+
+
+@dataclass
+class MachineSpec:
+    """Parameters for one simulated machine."""
+
+    name: str
+    cores: int = 8
+    cpu_speed: float = 1.0  # relative to the reference CPU
+    disk: DiskSpec = field(default_factory=DiskSpec)
+
+    def make_node(self, fs: FileSystem | None = None, name: str | None = None) -> Node:
+        return Node(name or self.name, self.cores, self.cpu_speed, self.disk, fs)
+
+    def make_kernel(self, fs: FileSystem | None = None) -> Kernel:
+        return Kernel(self.make_node(fs))
+
+
+def aws_c5_2xlarge_gp2() -> MachineSpec:
+    """The paper's 'Standard' instance: 8 vCPU, gp2 volume."""
+    return MachineSpec(name="c5.2xlarge-gp2", cores=8, cpu_speed=1.0, disk=gp2_spec())
+
+
+def aws_c5_2xlarge_gp3() -> MachineSpec:
+    """The paper's 'IO-opt' instance: 8 vCPU, gp3 volume (15K IOPS)."""
+    return MachineSpec(name="c5.2xlarge-gp3", cores=8, cpu_speed=1.0, disk=gp3_spec())
+
+
+def laptop() -> MachineSpec:
+    """A developer laptop: 4 cores, NVMe-ish disk, no burst games."""
+    return MachineSpec(
+        name="laptop",
+        cores=4,
+        cpu_speed=1.1,
+        disk=DiskSpec(name="nvme", throughput_bps=1.5e9, base_iops=100000.0,
+                      burst_iops=100000.0),
+    )
+
+
+def raspberry_pi() -> MachineSpec:
+    """A palm-sized computer: 4 slow cores, SD-card storage."""
+    return MachineSpec(
+        name="raspberry-pi",
+        cores=4,
+        cpu_speed=0.25,
+        disk=DiskSpec(name="sdcard", throughput_bps=40e6, base_iops=500.0,
+                      burst_iops=500.0, request_bytes=64 * 1024),
+    )
+
+
+def supercomputer_node() -> MachineSpec:
+    """A beefy HPC node: many cores, parallel filesystem-class storage."""
+    return MachineSpec(
+        name="hpc-node",
+        cores=64,
+        cpu_speed=1.3,
+        disk=DiskSpec(name="pfs", throughput_bps=10e9, base_iops=1e6, burst_iops=1e6),
+    )
+
+
+PROFILES = {
+    "standard": aws_c5_2xlarge_gp2,
+    "io-opt": aws_c5_2xlarge_gp3,
+    "laptop": laptop,
+    "raspberry-pi": raspberry_pi,
+    "hpc": supercomputer_node,
+}
+
+
+def profile(name: str) -> MachineSpec:
+    try:
+        return PROFILES[name]()
+    except KeyError:
+        raise KeyError(f"unknown machine profile {name!r}; have {sorted(PROFILES)}") from None

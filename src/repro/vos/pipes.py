@@ -1,0 +1,70 @@
+"""Kernel pipe objects with bounded buffers (backpressure).
+
+The bounded buffer is essential for realistic pipeline behaviour: stages
+overlap, fast producers block on slow consumers, and ``head``-style early
+exit propagates upstream as :class:`~repro.vos.errors.BrokenPipe`.
+"""
+
+from __future__ import annotations
+
+from .errors import BrokenPipe
+
+DEFAULT_PIPE_CAPACITY = 64 * 1024
+
+
+class Pipe:
+    """A unidirectional byte channel shared by reader/writer handles."""
+
+    _counter = 0
+
+    def __init__(self, capacity: int = DEFAULT_PIPE_CAPACITY):
+        Pipe._counter += 1
+        self.id = Pipe._counter
+        self.capacity = capacity
+        self.buffer = bytearray()
+        self.readers = 0  # open read handles
+        self.writers = 0  # open write handles
+        self.read_waiters: list = []  # processes blocked on empty buffer
+        self.write_waiters: list = []  # processes blocked on full buffer
+        # accounting
+        self.total_bytes = 0
+        self.peak_bytes = 0  # high-water mark of buffer occupancy
+
+    # -- state queries -----------------------------------------------------
+
+    @property
+    def at_eof(self) -> bool:
+        return self.writers == 0 and not self.buffer
+
+    @property
+    def broken(self) -> bool:
+        return self.readers == 0
+
+    def space(self) -> int:
+        return self.capacity - len(self.buffer)
+
+    def can_read(self) -> bool:
+        return bool(self.buffer) or self.writers == 0
+
+    def can_write(self) -> bool:
+        return self.space() > 0 or self.readers == 0
+
+    # -- data movement (kernel performs blocking around these) ----------------
+
+    def push(self, data: bytes) -> int:
+        """Accept up to `space()` bytes; returns count accepted."""
+        if self.readers == 0:
+            raise BrokenPipe(f"pipe {self.id}")
+        n = min(len(data), self.space())
+        if n:
+            self.buffer.extend(data[:n])
+            self.total_bytes += n
+            if len(self.buffer) > self.peak_bytes:
+                self.peak_bytes = len(self.buffer)
+        return n
+
+    def pull(self, nbytes: int) -> bytes:
+        n = min(nbytes, len(self.buffer))
+        data = bytes(self.buffer[:n])
+        del self.buffer[:n]
+        return data

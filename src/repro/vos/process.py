@@ -1,0 +1,139 @@
+"""Process objects and the cooperative process API.
+
+A process body is a generator function ``body(proc)`` that yields syscall
+requests.  The :class:`Process` helper methods are sub-generators used via
+``yield from`` so command implementations read naturally::
+
+    def body(proc):
+        data = yield from proc.read_all(0)
+        yield from proc.cpu(len(data) * 1e-9)
+        yield from proc.write(1, transform(data))
+        return 0
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .errors import BadFileDescriptor
+from .handles import Handle
+from .syscalls import (
+    CloseReq,
+    CpuReq,
+    DupReq,
+    NetSendReq,
+    OpenReq,
+    ReadReq,
+    SleepReq,
+    SpawnReq,
+    WaitReq,
+    WriteReq,
+)
+
+#: Default chunk size processes use for streaming IO.
+CHUNK = 64 * 1024
+
+NEW, RUNNING, DONE = "new", "running", "done"
+
+
+class Process:
+    def __init__(self, pid: int, name: str, node, kernel):
+        self.pid = pid
+        self.name = name
+        self.node = node
+        self.kernel = kernel
+        self.gen: Optional[Iterator] = None
+        self.fds: dict[int, Handle] = {}
+        self.cwd = "/"
+        self.state = NEW
+        self.exit_status: Optional[int] = None
+        self.error: Optional[str] = None
+        self.waiters: list["Process"] = []
+        self.start_time = 0.0
+        self.end_time = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Process {self.pid} {self.name} {self.state}>"
+
+    def handle(self, fd: int) -> Handle:
+        try:
+            return self.fds[fd]
+        except KeyError:
+            raise BadFileDescriptor(f"{self.name}: fd {fd}") from None
+
+    def next_fd(self) -> int:
+        fd = 0
+        while fd in self.fds:
+            fd += 1
+        return fd
+
+    # -- syscall helper sub-generators ------------------------------------------
+
+    def cpu(self, seconds: float):
+        if seconds > 0:
+            yield CpuReq(seconds)
+
+    def read(self, fd: int, nbytes: int = CHUNK):
+        data = yield ReadReq(fd, nbytes)
+        return data
+
+    def write(self, fd: int, data: bytes):
+        if not data:
+            return 0
+        total = 0
+        view = memoryview(data)
+        while total < len(data):
+            n = yield WriteReq(fd, bytes(view[total : total + CHUNK]))
+            total += n
+        return total
+
+    def read_all(self, fd: int):
+        chunks = []
+        while True:
+            data = yield ReadReq(fd, CHUNK)
+            if not data:
+                return b"".join(chunks)
+            chunks.append(data)
+
+    def read_lines(self, fd: int):
+        """Not a plain generator-of-lines: yields syscalls, accumulating
+        lines; use ``LineStream`` from repro.commands.base instead for
+        incremental processing."""
+        data = yield from self.read_all(fd)
+        return data.splitlines(keepends=True)
+
+    def open(self, path: str, mode: str = "r"):
+        fd = yield OpenReq(path, mode)
+        return fd
+
+    def close(self, fd: int):
+        yield CloseReq(fd)
+
+    def dup2(self, src_fd: int, dst_fd: int):
+        yield DupReq(src_fd, dst_fd)
+
+    def spawn(self, target: Callable, name: str = "proc", fds: Optional[dict] = None,
+              cwd: Optional[str] = None, node: Optional[str] = None):
+        pid = yield SpawnReq(target, name, fds or {}, cwd, node)
+        return pid
+
+    def wait(self, pid: int):
+        status = yield WaitReq(pid)
+        return status
+
+    def sleep(self, seconds: float):
+        yield SleepReq(seconds)
+
+    def net_send(self, dst_node: str, nbytes: int):
+        yield NetSendReq(dst_node, nbytes)
+
+    # -- zero-cost metadata access (stat-like calls are effectively free) -----
+
+    @property
+    def fs(self):
+        return self.node.fs
+
+    def resolve(self, path: str) -> str:
+        from .fs import normalize
+
+        return normalize(path, self.cwd)

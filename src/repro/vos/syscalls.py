@@ -1,0 +1,84 @@
+"""Syscall request objects yielded by process generators to the kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class CpuReq:
+    """Consume ``seconds`` of reference-CPU time (processor-shared)."""
+
+    seconds: float
+
+
+@dataclass
+class ReadReq:
+    fd: int
+    nbytes: int
+
+
+@dataclass
+class WriteReq:
+    fd: int
+    data: bytes
+
+
+@dataclass
+class OpenReq:
+    path: str
+    mode: str  # "r" | "w" | "a" | "rw"
+
+
+@dataclass
+class CloseReq:
+    fd: int
+
+
+@dataclass
+class DupReq:
+    """Duplicate ``src_fd`` onto ``dst_fd`` (dup2 semantics)."""
+
+    src_fd: int
+    dst_fd: int
+
+
+@dataclass
+class SpawnReq:
+    """Start a child process running ``target(proc)``.
+
+    ``fds`` maps child fd numbers to Handle objects (duplicated on
+    install); omitted fds are not inherited.  ``node`` selects the cluster
+    node (None = parent's node).
+    """
+
+    target: Callable
+    name: str = "proc"
+    fds: dict = field(default_factory=dict)
+    cwd: Optional[str] = None
+    node: Optional[str] = None
+
+
+@dataclass
+class WaitReq:
+    pid: int
+
+
+@dataclass
+class SleepReq:
+    seconds: float
+
+
+@dataclass
+class NetSendReq:
+    """Transfer ``nbytes`` from this process's node to ``dst_node``."""
+
+    dst_node: str
+    nbytes: int
+
+
+Syscall = (
+    CpuReq, ReadReq, WriteReq, OpenReq, CloseReq, DupReq,
+    SpawnReq, WaitReq, SleepReq, NetSendReq,
+)

@@ -1,0 +1,52 @@
+"""Shared fixtures: fast virtual machines and script-running helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shell import Shell
+from repro.vos.devices import DiskSpec
+from repro.vos.machines import MachineSpec
+
+
+def fast_machine() -> MachineSpec:
+    """A machine whose IO/CPU are effectively free: correctness tests
+    should not wait on the simulated clock."""
+    return MachineSpec(
+        name="test-fast",
+        cores=8,
+        cpu_speed=1e6,
+        disk=DiskSpec(name="ram", throughput_bps=1e12, base_iops=1e9,
+                      burst_iops=1e9),
+    )
+
+
+@pytest.fixture
+def shell() -> Shell:
+    return Shell(fast_machine())
+
+
+@pytest.fixture
+def sh_run(shell):
+    """Run a script, returning the RunResult."""
+
+    def run(script: str, files: dict | None = None, args: list | None = None,
+            stdin: bytes = b"", env: dict | None = None):
+        for path, data in (files or {}).items():
+            shell.fs.write_bytes(path, data)
+        return shell.run(script, args=args, stdin=stdin, env=env)
+
+    run.shell = shell
+    return run
+
+
+@pytest.fixture
+def out_of(sh_run):
+    """Run a script and return decoded stdout (asserts status 0)."""
+
+    def run(script: str, **kw):
+        result = sh_run(script, **kw)
+        assert result.status == 0, (result.status, result.err)
+        return result.out
+
+    return run

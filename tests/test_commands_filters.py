@@ -1,0 +1,258 @@
+"""Filter command tests: tr, grep, cut, sed, wc, rev, paste, nl, tac —
+including differential property tests against Python references."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotations.inference import run_filter
+from repro.commands.filters import parse_cut_list, parse_tr_set
+from repro.commands.base import UsageError
+
+
+class TestTrSets:
+    def test_literal(self):
+        assert parse_tr_set("abc") == b"abc"
+
+    def test_range(self):
+        assert parse_tr_set("a-e") == b"abcde"
+
+    def test_classes(self):
+        assert parse_tr_set("[:digit:]") == b"0123456789"
+
+    def test_escapes(self):
+        assert parse_tr_set(r"\n\t") == b"\n\t"
+
+    def test_mixed(self):
+        assert parse_tr_set(r"A-C1-3") == b"ABC123"
+
+    def test_bad_range(self):
+        with pytest.raises(UsageError):
+            parse_tr_set("z-a")
+
+
+class TestTr:
+    def test_translate(self, out_of):
+        assert out_of("echo hello | tr a-z A-Z") == "HELLO\n"
+
+    def test_delete(self, out_of):
+        assert out_of("echo h3ll0 | tr -d 0-9") == "hll\n"
+
+    def test_squeeze(self, out_of):
+        assert out_of("echo aaabbbccc | tr -s a-z") == "abc\n"
+
+    def test_complement_tokenize(self, out_of):
+        out = out_of("printf 'one two,three\\n' | tr -cs A-Za-z '\\n'")
+        assert out == "one\ntwo\nthree\n"
+
+    def test_complement_no_trailing_separator(self, out_of):
+        # without a trailing separator there is nothing to translate at
+        # the end, exactly like GNU tr
+        out = out_of("printf 'one two' | tr -cs A-Za-z '\\n'")
+        assert out == "one\ntwo"
+
+    def test_padded_set2(self, out_of):
+        # set2 padded with its last char
+        assert out_of("echo abcd | tr abc x") == "xxxd\n"
+
+    def test_paper_spell_stages(self, out_of):
+        out = out_of("printf 'The QUICK fox' | tr A-Z a-z")
+        assert out == "the quick fox"
+
+
+class TestGrep:
+    FILES = {"/log": b"INFO start\nERROR one\nWARN mid\nERROR two\nINFO end\n"}
+
+    def test_match(self, out_of):
+        assert out_of("grep ERROR /log", files=self.FILES) == "ERROR one\nERROR two\n"
+
+    def test_invert(self, out_of):
+        assert "ERROR" not in out_of("grep -v ERROR /log", files=self.FILES)
+
+    def test_count(self, out_of):
+        assert out_of("grep -c ERROR /log", files=self.FILES) == "2\n"
+
+    def test_ignore_case(self, out_of):
+        assert out_of("grep -i error /log", files=self.FILES).count("\n") == 2
+
+    def test_line_numbers(self, out_of):
+        assert out_of("grep -n one /log", files=self.FILES) == "2:ERROR one\n"
+
+    def test_max_count(self, out_of):
+        assert out_of("grep -m 1 ERROR /log", files=self.FILES) == "ERROR one\n"
+
+    def test_fixed_string(self, out_of):
+        files = {"/f": b"a.b\naxb\n"}
+        assert out_of("grep -F a.b /f", files=files) == "a.b\n"
+
+    def test_quiet(self, sh_run):
+        assert sh_run("grep -q ERROR /log", files=self.FILES).status == 0
+        assert sh_run("grep -q ABSENT /log", files=self.FILES).status == 1
+
+    def test_no_match_status(self, sh_run):
+        assert sh_run("grep ABSENT /log", files=self.FILES).status == 1
+
+    def test_whole_line(self, out_of):
+        files = {"/f": b"exact\nexactly\n"}
+        assert out_of("grep -x exact /f", files=files) == "exact\n"
+
+    def test_stdin(self, out_of):
+        assert out_of("printf 'a\\nb\\n' | grep b") == "b\n"
+
+    def test_regex(self, out_of):
+        assert out_of("grep 'ERROR (one|two)' /log", files=self.FILES).count("\n") == 2
+
+    def test_multiple_files_prefixed(self, out_of):
+        files = {"/1": b"hit\n", "/2": b"hit\n"}
+        out = out_of("grep hit /1 /2", files=files)
+        assert out == "/1:hit\n/2:hit\n"
+
+
+class TestCut:
+    def test_parse_list(self):
+        assert parse_cut_list("1,3-5") == [(1, 1), (3, 5)]
+        assert parse_cut_list("-3") == [(1, 3)]
+        assert parse_cut_list("5-")[0][0] == 5
+        with pytest.raises((UsageError, ValueError)):
+            parse_cut_list("0")
+
+    def test_chars(self, out_of):
+        assert out_of("printf 'abcdef\\n' | cut -c 2-4") == "bcd\n"
+
+    def test_paper_temperature_columns(self, out_of):
+        line = ("x" * 88 + "0123" + "y" * 10) + "\n"
+        out = out_of(f"printf '{line}' | cut -c 89-92")
+        assert out == "0123\n"
+
+    def test_fields(self, out_of):
+        assert out_of("printf 'a:b:c\\n' | cut -d : -f 2") == "b\n"
+
+    def test_fields_multi(self, out_of):
+        assert out_of("printf 'a:b:c:d\\n' | cut -d : -f 1,3-4") == "a:c:d\n"
+
+    def test_no_delimiter_passthrough(self, out_of):
+        assert out_of("printf 'plain\\n' | cut -d : -f 2") == "plain\n"
+
+    def test_only_delimited(self, out_of):
+        assert out_of("printf 'a:b\\nplain\\n' | cut -s -d : -f 1") == "a\n"
+
+
+class TestSed:
+    def test_substitute(self, out_of):
+        assert out_of("printf 'aaa\\n' | sed s/a/b/") == "baa\n"
+
+    def test_substitute_global(self, out_of):
+        assert out_of("printf 'aaa\\n' | sed s/a/b/g") == "bbb\n"
+
+    def test_delete(self, out_of):
+        assert out_of("printf 'keep\\ndrop\\n' | sed /drop/d") == "keep\n"
+
+    def test_print_with_n(self, out_of):
+        assert out_of("printf 'a\\nb\\n' | sed -n /b/p") == "b\n"
+
+    def test_ampersand(self, out_of):
+        assert out_of("printf 'x\\n' | sed 's/x/[&]/'") == "[x]\n"
+
+    def test_alternate_separator(self, out_of):
+        assert out_of("printf '/a/b\\n' | sed 's|/a|/z|'") == "/z/b\n"
+
+    def test_multiple_commands(self, out_of):
+        assert out_of("printf 'ab\\n' | sed 's/a/1/;s/b/2/'") == "12\n"
+
+
+class TestWc:
+    def test_lines_words_bytes(self, out_of):
+        out = out_of("printf 'one two\\nthree\\n' | wc")
+        assert out.split() == ["2", "3", "14"]
+
+    def test_l(self, out_of):
+        assert out_of("printf 'a\\nb\\nc\\n' | wc -l").strip() == "3"
+
+    def test_w_across_chunks(self, out_of):
+        assert out_of("printf 'a b  c\\n' | wc -w").strip() == "3"
+
+    def test_c(self, out_of):
+        assert out_of("printf '12345' | wc -c").strip() == "5"
+
+    def test_file_label(self, out_of):
+        out = out_of("wc -l /f", files={"/f": b"x\n"})
+        assert out == "1 /f\n"
+
+    def test_total_line(self, out_of):
+        files = {"/a": b"1\n", "/b": b"2\n3\n"}
+        out = out_of("wc -l /a /b", files=files)
+        assert "total" in out
+        assert out.splitlines()[-1].split()[0] == "3"
+
+
+class TestMisc:
+    def test_rev(self, out_of):
+        assert out_of("printf 'abc\\ndef\\n' | rev") == "cba\nfed\n"
+
+    def test_tac(self, out_of):
+        assert out_of("printf '1\\n2\\n3\\n' | tac") == "3\n2\n1\n"
+
+    def test_paste(self, out_of):
+        files = {"/a": b"1\n2\n", "/b": b"x\ny\n"}
+        assert out_of("paste /a /b", files=files) == "1\tx\n2\ty\n"
+
+    def test_paste_delim(self, out_of):
+        files = {"/a": b"1\n", "/b": b"x\n"}
+        assert out_of("paste -d , /a /b", files=files) == "1,x\n"
+
+    def test_nl(self, out_of):
+        out = out_of("printf 'a\\nb\\n' | nl")
+        assert re.match(r"\s+1\ta\n\s+2\tb\n", out)
+
+
+# ---------------------------------------------------------------------------
+# differential property tests vs Python references
+# ---------------------------------------------------------------------------
+
+_lines = st.lists(
+    st.text(alphabet="abcxyz019 .", min_size=0, max_size=12),
+    min_size=0, max_size=20,
+).map(lambda ls: ("".join(line + "\n" for line in ls)).encode())
+
+
+@given(_lines)
+@settings(max_examples=100, deadline=None)
+def test_grep_matches_python(data):
+    status, out = run_filter(["grep", "a"], data)
+    expected = b"".join(
+        line for line in data.splitlines(keepends=True) if b"a" in line
+    )
+    assert out == expected
+
+
+@given(_lines)
+@settings(max_examples=100, deadline=None)
+def test_tr_upper_matches_python(data):
+    _status, out = run_filter(["tr", "a-z", "A-Z"], data)
+    assert out == data.upper()
+
+
+@given(_lines, st.integers(1, 5))
+@settings(max_examples=100, deadline=None)
+def test_head_matches_python(data, n):
+    _status, out = run_filter(["head", "-n", str(n)], data)
+    assert out == b"".join(data.splitlines(keepends=True)[:n])
+
+
+@given(_lines, st.integers(1, 4), st.integers(1, 6))
+@settings(max_examples=100, deadline=None)
+def test_cut_chars_matches_python(data, lo, width):
+    _status, out = run_filter(["cut", "-c", f"{lo}-{lo + width - 1}"], data)
+    expected = b"".join(
+        line.rstrip(b"\n")[lo - 1 : lo + width - 1] + b"\n"
+        for line in data.splitlines(keepends=True)
+    )
+    assert out == expected
+
+
+@given(_lines)
+@settings(max_examples=100, deadline=None)
+def test_wc_l_matches_python(data):
+    _status, out = run_filter(["wc", "-l"], data)
+    assert int(out.split()[0]) == data.count(b"\n")

@@ -1,0 +1,214 @@
+"""IO command tests: cat, tee, head, tail, split, echo, printf, yes,
+sleep, and the fs/utility commands."""
+
+import pytest
+
+
+class TestCat:
+    def test_single_file(self, out_of):
+        assert out_of("cat /f", files={"/f": b"data\n"}) == "data\n"
+
+    def test_concatenates(self, out_of):
+        files = {"/a": b"1\n", "/b": b"2\n"}
+        assert out_of("cat /a /b", files=files) == "1\n2\n"
+
+    def test_stdin_dash(self, sh_run):
+        result = sh_run("echo piped | cat -")
+        assert result.stdout == b"piped\n"
+
+    def test_missing_file(self, sh_run):
+        result = sh_run("cat /missing")
+        assert result.status == 1
+        assert "No such file" in result.err
+
+
+class TestTee:
+    def test_copies(self, sh_run):
+        result = sh_run("echo x | tee /tmp/copy")
+        assert result.stdout == b"x\n"
+        assert sh_run.shell.fs.read_bytes("/tmp/copy") == b"x\n"
+
+    def test_append(self, sh_run):
+        sh_run("echo a | tee /tmp/t; echo b | tee -a /tmp/t")
+        assert sh_run.shell.fs.read_bytes("/tmp/t") == b"a\nb\n"
+
+    def test_multiple_files(self, sh_run):
+        sh_run("echo x | tee /tmp/1 /tmp/2 > /dev/null")
+        assert sh_run.shell.fs.read_bytes("/tmp/1") == b"x\n"
+        assert sh_run.shell.fs.read_bytes("/tmp/2") == b"x\n"
+
+
+class TestHeadTail:
+    FILES = {"/ten": b"".join(b"%d\n" % i for i in range(10))}
+
+    def test_head_default_ten(self, out_of):
+        big = {"/f": b"".join(b"%d\n" % i for i in range(20))}
+        assert out_of("head /f", files=big).count("\n") == 10
+
+    def test_head_n(self, out_of):
+        assert out_of("head -n 3 /ten", files=self.FILES) == "0\n1\n2\n"
+
+    def test_head_historic(self, out_of):
+        assert out_of("head -2 /ten", files=self.FILES) == "0\n1\n"
+
+    def test_head_bytes(self, out_of):
+        assert out_of("head -c 4 /ten", files=self.FILES) == "0\n1\n"
+
+    def test_tail_n(self, out_of):
+        assert out_of("tail -n 2 /ten", files=self.FILES) == "8\n9\n"
+
+    def test_tail_bytes(self, out_of):
+        assert out_of("tail -c 4 /ten", files=self.FILES) == "8\n9\n"
+
+    def test_head_more_than_available(self, out_of):
+        assert out_of("head -n 99 /ten", files=self.FILES).count("\n") == 10
+
+
+class TestSplit:
+    def test_by_lines(self, sh_run):
+        files = {"/f": b"".join(b"%d\n" % i for i in range(10))}
+        sh_run("cd /tmp; split -l 4 /f part_", files=files)
+        fs = sh_run.shell.fs
+        assert fs.read_bytes("/tmp/part_aa") == b"0\n1\n2\n3\n"
+        assert fs.read_bytes("/tmp/part_ab") == b"4\n5\n6\n7\n"
+        assert fs.read_bytes("/tmp/part_ac") == b"8\n9\n"
+
+    def test_reassembles(self, out_of):
+        files = {"/f": b"".join(b"line%d\n" % i for i in range(25))}
+        out = out_of("cd /tmp; split -l 7 /f s_; cat s_aa s_ab s_ac s_ad",
+                     files=files)
+        assert out == files["/f"].decode()
+
+
+class TestEchoPrintf:
+    def test_echo_joins(self, out_of):
+        assert out_of("echo a b   c") == "a b c\n"
+
+    def test_echo_n(self, out_of):
+        assert out_of("echo -n x") == "x"
+
+    def test_printf_s(self, out_of):
+        assert out_of("printf '%s-%s' a b") == "a-b"
+
+    def test_printf_d(self, out_of):
+        assert out_of("printf '%d\\n' 42") == "42\n"
+
+    def test_printf_reapplies_format(self, out_of):
+        assert out_of("printf '%s\\n' a b c") == "a\nb\nc\n"
+
+    def test_printf_escapes(self, out_of):
+        assert out_of("printf 'a\\tb\\n'") == "a\tb\n"
+
+    def test_printf_percent(self, out_of):
+        assert out_of("printf '100%%\\n'") == "100%\n"
+
+
+class TestYesSleep:
+    def test_yes_head(self, out_of):
+        assert out_of("yes | head -n 3") == "y\ny\ny\n"
+
+    def test_yes_arg(self, out_of):
+        assert out_of("yes no | head -n 1") == "no\n"
+
+    def test_sleep_advances_clock(self, sh_run):
+        result = sh_run("sleep 1.5")
+        assert result.elapsed >= 1.5
+
+
+class TestFsCommands:
+    def test_ls(self, out_of):
+        files = {"/d/b": b"", "/d/a": b""}
+        assert out_of("ls /d", files=files) == "a\nb\n"
+
+    def test_ls_missing(self, sh_run):
+        assert sh_run("ls /nope").status == 1
+
+    def test_mkdir_rm(self, sh_run):
+        sh_run("mkdir -p /x/y/z; echo f > /x/y/z/f; rm /x/y/z/f")
+        assert not sh_run.shell.fs.exists("/x/y/z/f")
+        assert sh_run.shell.fs.is_dir("/x/y/z")
+
+    def test_rm_r(self, sh_run):
+        sh_run("mkdir -p /t; echo 1 > /t/a; echo 2 > /t/b; rm -r /t")
+        assert not sh_run.shell.fs.exists("/t/a")
+
+    def test_rm_missing_fails_without_f(self, sh_run):
+        assert sh_run("rm /gone").status == 1
+        assert sh_run("rm -f /gone").status == 0
+
+    def test_cp(self, sh_run):
+        sh_run("cp /src /dst", files={"/src": b"v"})
+        assert sh_run.shell.fs.read_bytes("/dst") == b"v"
+
+    def test_mv(self, sh_run):
+        sh_run("mv /src /dst", files={"/src": b"v"})
+        assert sh_run.shell.fs.read_bytes("/dst") == b"v"
+        assert not sh_run.shell.fs.exists("/src")
+
+    def test_touch(self, sh_run):
+        sh_run("touch /new")
+        assert sh_run.shell.fs.is_file("/new")
+
+    def test_basename_dirname(self, out_of):
+        assert out_of("basename /a/b/c.txt") == "c.txt\n"
+        assert out_of("basename /a/b/c.txt .txt") == "c\n"
+        assert out_of("dirname /a/b/c.txt") == "/a/b\n"
+        assert out_of("dirname file") == ".\n"
+
+    def test_du(self, out_of):
+        out = out_of("du -s /d", files={"/d/a": b"12345", "/d/b": b"1"})
+        assert out.startswith("6\t")
+
+    def test_stat_size(self, out_of):
+        assert out_of("stat -c %s /f", files={"/f": b"12345"}) == "5\n"
+
+
+class TestTestCommand:
+    @pytest.mark.parametrize("expr,expected", [
+        ("-f /exists", 0), ("-f /missing", 1),
+        ("-d /dir", 0), ("-d /exists", 1),
+        ("-e /exists", 0), ("-e /missing", 1),
+        ("-s /exists", 0), ("-s /empty", 1),
+        ("-n nonempty", 0), ("-z ''", 0), ("-z x", 1),
+        ("abc = abc", 0), ("abc = abd", 1), ("abc != abd", 0),
+        ("3 -gt 2", 0), ("2 -gt 3", 1), ("2 -le 2", 0),
+        ("5 -eq 5", 0), ("5 -ne 5", 1),
+        ("1 -lt 2 -a 3 -gt 2", 0), ("1 -gt 2 -o 3 -gt 2", 0),
+        ("! 1 -gt 2", 0),
+        (r"\( 1 -lt 2 \)", 0),
+    ])
+    def test_exprs(self, sh_run, expr, expected):
+        files = {"/exists": b"x", "/empty": b""}
+        sh_run.shell.fs.mkdir("/dir")
+        assert sh_run(f"test {expr}", files=files).status == expected
+
+    def test_bracket_form(self, sh_run):
+        assert sh_run("[ 1 -lt 2 ]").status == 0
+        assert sh_run("[ 1 -lt 2").status == 2  # missing ]
+
+    def test_empty_test_is_false(self, sh_run):
+        assert sh_run("test").status == 1
+
+    def test_bad_integer(self, sh_run):
+        assert sh_run("test x -gt 2").status == 2
+
+
+class TestXargs:
+    def test_default_echo(self, out_of):
+        assert out_of("printf 'a b c' | xargs") == "a b c\n"
+
+    def test_batching(self, out_of):
+        out = out_of("printf '1 2 3 4 5' | xargs -n 2 echo")
+        assert out == "1 2\n3 4\n5\n"
+
+    def test_utility(self, sh_run):
+        result = sh_run("printf '/a /b' | xargs cat",
+                        files={"/a": b"A\n", "/b": b"B\n"})
+        assert result.stdout == b"A\nB\n"
+
+    def test_unknown_utility(self, sh_run):
+        assert sh_run("echo x | xargs nothere").status == 127
+
+    def test_parallel(self, sh_run):
+        result = sh_run("printf '0.3 0.3 0.3 0.3' | xargs -n 1 -P 4 sleep")
+        assert result.elapsed < 0.8  # parallel, not 1.2s sequential

@@ -1,0 +1,282 @@
+"""Differential conformance against a real POSIX shell (dash).
+
+Smoosh's methodology, applied to our executable semantics: run the same
+script in dash (/bin/sh) and in our interpreter, with the same files,
+and require identical stdout and exit status.  Skipped automatically on
+hosts without /bin/sh.
+
+The corpus covers word expansion, quoting, control flow, parameter
+operators, arithmetic, IFS, case patterns, command substitution,
+here-documents, and text-processing pipelines; a hypothesis generator
+adds randomized expansion/arithmetic scripts.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.shell import Shell
+
+from .conftest import fast_machine
+
+DASH = shutil.which("sh")
+
+pytestmark = pytest.mark.skipif(DASH is None, reason="no /bin/sh available")
+
+
+def run_dash(script: str, files: dict[str, bytes], args: list[str],
+             tmp_path) -> tuple[int, bytes]:
+    for name, data in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(data)
+    proc = subprocess.run(
+        [DASH, "-c", script, "sh"] + args,
+        cwd=tmp_path, capture_output=True, timeout=20,
+        env={"PATH": "/usr/bin:/bin", "HOME": str(tmp_path)},
+    )
+    return proc.returncode, proc.stdout
+
+
+def run_ours(script: str, files: dict[str, bytes],
+             args: list[str]) -> tuple[int, bytes]:
+    shell = Shell(fast_machine())
+    for name, data in files.items():
+        shell.fs.write_bytes("/" + name, data)
+    result = shell.run(script, args=args)
+    return result.status, result.stdout
+
+
+def check(script: str, files: dict[str, bytes] | None = None,
+          args: list[str] | None = None, tmp_path=None):
+    files = files or {}
+    args = args or []
+    dash_status, dash_out = run_dash(script, files, args, tmp_path)
+    our_status, our_out = run_ours(script, files, args)
+    assert our_out == dash_out, (
+        f"stdout mismatch for {script!r}:\n dash: {dash_out!r}\n ours: {our_out!r}"
+    )
+    assert our_status == dash_status, (
+        f"status mismatch for {script!r}: dash={dash_status} ours={our_status}"
+    )
+
+
+EXPANSION_CORPUS = [
+    "echo hello world",
+    "echo 'single  quoted'",
+    'echo "double  quoted"',
+    "x=5; echo $x ${x} \"$x\"",
+    "echo ${unset:-default} ${unset-d2}",
+    'x=""; echo [${x:-A}] [${x-B}]',
+    "echo ${x:=assigned}; echo $x",
+    "x=v; echo ${x:+alt} [${y:+alt}]",
+    "x=hello; echo ${#x} ${#missing}",
+    "x=file.tar.gz; echo ${x%.gz} ${x%%.*} ${x#file} ${x##*.}",
+    "x=/a/b/c; echo ${x##*/} ${x%/*}",
+    "echo $((1+2*3)) $((10/3)) $((10%3)) $(( (1+2)*3 ))",
+    "echo $((1<2)) $((2<=1)) $((1&&0)) $((1||0)) $((!5)) $((~0))",
+    "x=7; echo $((x*2)) $(($x+1))",
+    "echo $((y=5)) $y",
+    "echo $((0x10)) $((010))",
+    "echo a$(echo b)c",
+    "echo $(echo $(echo nested))",
+    "x=$(printf 'no-newline'); echo [$x]",
+    "x=$(printf 'a\\n\\n\\n'); echo [$x]",
+    "echo `echo backtick`",
+    "echo \"cmd: $(echo inner) arith: $((2+2))\"",
+    "set -- a b c; echo $# $1 $3 $*",
+    'set -- a "b c" d; for x in "$@"; do echo [$x]; done',
+    'set -- a "b c" d; echo "$*"',
+    "set -- a b; shift; echo $1 $#",
+    "x='a  b   c'; echo $x",
+    'x="a  b"; echo "$x"',
+    "IFS=:; x=a:b:c; set -- $x; echo $# $2",
+    "IFS=:; x=a::c; set -- $x; echo [$2]",
+    "echo \\$x \\\"quoted\\\"",
+    "echo 'it'\\''s'",
+    "false; echo $?; true; echo $?",
+    "echo one; echo two",
+]
+
+CONTROL_CORPUS = [
+    "if true; then echo t; fi",
+    "if false; then echo t; else echo f; fi",
+    "if false; then echo a; elif true; then echo b; else echo c; fi",
+    "for i in 1 2 3; do echo n$i; done",
+    "for i in; do echo never; done; echo after",
+    "i=0; while [ $i -lt 4 ]; do echo i$i; i=$((i+1)); done",
+    "i=0; until [ $i -ge 2 ]; do echo u$i; i=$((i+1)); done",
+    "for i in 1 2 3 4; do if [ $i = 3 ]; then break; fi; echo $i; done",
+    "for i in 1 2 3; do [ $i = 2 ] && continue; echo $i; done",
+    "case abc in a*) echo glob;; *) echo other;; esac",
+    "case xyz in a|b) echo ab;; x*z) echo xz;; esac",
+    "case '' in '') echo empty;; *) echo non;; esac",
+    "x='*'; case $x in '*') echo lit;; *) echo any;; esac",
+    "case 5 in [0-9]) echo digit;; *) echo no;; esac",
+    "true && echo and1 || echo or1",
+    "false && echo and2 || echo or2",
+    "! false && echo negated",
+    "(echo sub; exit 3); echo $?",
+    "x=1; (x=2); echo $x",
+    "x=1; { x=2; }; echo $x",
+    "f() { echo f:$1; }; f arg",
+    "f() { return 4; }; f; echo $?",
+    "f() { echo a; return; echo b; }; f",
+    "fact() { if [ $1 -le 1 ]; then echo 1; else "
+    "p=$(fact $(($1-1))); echo $(($1*p)); fi; }; fact 5",
+    "x=outer; f() { x=inner; }; f; echo $x",
+    "exit 7",
+    "echo before; exit 0; echo after",
+    "set -e; false; echo unreachable",
+    "set -e; false || true; echo ok",
+    "set -e; if false; then :; fi; echo alive",
+    "set -u; echo ${defined:-fb}; echo ok",
+    "eval 'echo evaled'",
+    "cmd='echo dyn'; eval $cmd",
+]
+
+FILE_CORPUS = [
+    ("cat f.txt", {"f.txt": b"line1\nline2\n"}),
+    ("cat a.txt b.txt", {"a.txt": b"A\n", "b.txt": b"B\n"}),
+    ("sort f.txt", {"f.txt": b"b\na\nc\n"}),
+    ("sort -r f.txt", {"f.txt": b"b\na\nc\n"}),
+    ("sort -n f.txt", {"f.txt": b"10\n9\n100\n"}),
+    ("sort -u f.txt", {"f.txt": b"b\na\nb\n"}),
+    ("head -n 2 f.txt", {"f.txt": b"1\n2\n3\n4\n"}),
+    ("tail -n 2 f.txt", {"f.txt": b"1\n2\n3\n4\n"}),
+    ("wc -l < f.txt", {"f.txt": b"1\n2\n3\n"}),
+    ("grep b f.txt", {"f.txt": b"abc\nxyz\nbcd\n"}),
+    ("grep -v b f.txt", {"f.txt": b"abc\nxyz\nbcd\n"}),
+    ("grep -c b f.txt", {"f.txt": b"abc\nxyz\nbcd\n"}),
+    ("grep absent f.txt; echo $?", {"f.txt": b"abc\n"}),
+    ("cut -c 2-3 f.txt", {"f.txt": b"abcdef\nghijkl\n"}),
+    ("cut -d : -f 2 f.txt", {"f.txt": b"a:b:c\nd:e:f\n"}),
+    ("uniq f.txt", {"f.txt": b"a\na\nb\na\n"}),
+    ("tr a-z A-Z < f.txt", {"f.txt": b"hello\n"}),
+    ("tr -d 0-9 < f.txt", {"f.txt": b"a1b2c3\n"}),
+    ("tr -s ' ' < f.txt", {"f.txt": b"a    b  c\n"}),
+    ("comm -13 a.txt b.txt", {"a.txt": b"a\nb\n", "b.txt": b"b\nc\n"}),
+    ("cat f.txt | sort | head -n 1", {"f.txt": b"c\na\nb\n"}),
+    ("cat f.txt | tr a-z A-Z | sort -r", {"f.txt": b"b\na\nc\n"}),
+    ("sort f.txt | uniq -c | sort -rn | head -n 1",
+     {"f.txt": b"x\ny\nx\nz\nx\ny\n"}),
+    ("cut -c 1-4 f.txt | grep -v 999 | sort -rn | head -n1",
+     {"f.txt": b"0123rest\n9990rest\n0456rest\n"}),
+    ("cat f.txt | tr -cs 'a-zA-Z' '\\n' | sort -u",
+     {"f.txt": b"The quick, brown fox. The lazy dog!\n"}),
+    ("echo new > out.txt; cat out.txt", {}),
+    ("echo a > out.txt; echo b >> out.txt; cat out.txt", {}),
+    ("wc -c < f.txt", {"f.txt": b"12345"}),
+    ("while read x; do echo got:$x; done < f.txt", {"f.txt": b"1\n2\n"}),
+    ("test -f f.txt; echo $?; test -f nope; echo $?", {"f.txt": b"x"}),
+    ("[ -s f.txt ] && echo nonempty", {"f.txt": b"data"}),
+    ("if [ 3 -gt 2 ]; then echo gt; fi", {}),
+    ("echo *.txt", {"a.txt": b"", "b.txt": b"", "c.log": b""}),
+    ("echo *.nomatch", {"a.txt": b""}),
+    ("for f in *.txt; do echo f:$f; done", {"x.txt": b"", "y.txt": b""}),
+    ("cat f.txt | awk '{print $2}'", {"f.txt": b"a b c\nd e f\n"}),
+    ("awk '{s+=$1} END {print s}' f.txt", {"f.txt": b"1\n2\n3\n"}),
+    ("awk -F : '{print $1}' f.txt | sort", {"f.txt": b"b:1\na:2\n"}),
+    ("awk 'NR==1 {print toupper($0)}' f.txt", {"f.txt": b"hi\nlo\n"}),
+]
+
+MISC_CORPUS = [
+    "seq 5",
+    "seq 2 4",
+    "seq 1 2 7",
+    "seq 10 | head -n 3",
+    "seq 100 | wc -l",
+    "yes | head -n 2",
+    "printf '%s-%s\\n' a b",
+    "printf '%d\\n' 42",
+    "printf '%s\\n' one two three",
+    "echo -n no-newline; echo .",
+    "basename /a/b/c.txt",
+    "basename /a/b/c.txt .txt",
+    "dirname /a/b/c.txt",
+    "true | false; echo $?",
+    "false | true; echo $?",
+    "echo hi | cat | cat | cat",
+    "cat <<EOF\nplain body\nEOF",
+    "x=v; cat <<EOF\nexpanded: $x and $((1+1))\nEOF",
+    "x=v; cat <<'EOF'\nliteral: $x\nEOF",
+    "cat <<EOF | wc -l\n1\n2\n3\nEOF",
+    "printf 'b\\na\\n' | sort | while read l; do echo [$l]; done",
+]
+
+
+@pytest.mark.parametrize("script", EXPANSION_CORPUS)
+def test_expansion_conformance(script, tmp_path):
+    check(script, tmp_path=tmp_path)
+
+
+@pytest.mark.parametrize("script", CONTROL_CORPUS)
+def test_control_conformance(script, tmp_path):
+    check(script, tmp_path=tmp_path)
+
+
+@pytest.mark.parametrize("script,files", FILE_CORPUS)
+def test_file_conformance(script, files, tmp_path):
+    check(script, files=files, tmp_path=tmp_path)
+
+
+@pytest.mark.parametrize("script", MISC_CORPUS)
+def test_misc_conformance(script, tmp_path):
+    check(script, tmp_path=tmp_path)
+
+
+def test_positional_args_conformance(tmp_path):
+    check('echo $1-$2 "$@" $#', args=["one", "two three"], tmp_path=tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# randomized differential testing
+# ---------------------------------------------------------------------------
+
+_words = st.sampled_from(["alpha", "beta", "x1", "42", "-n?"])
+_varnames = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def _safe_scripts(draw):
+    lines = []
+    defined = []
+    for _ in range(draw(st.integers(1, 4))):
+        kind = draw(st.sampled_from(
+            ["assign", "echo", "arith", "ifcmp", "forloop", "param"]
+        ))
+        if kind == "assign":
+            name = draw(_varnames)
+            lines.append(f"{name}='{draw(_words)}'")
+            defined.append(name)
+        elif kind == "echo":
+            parts = [draw(_words) for _ in range(draw(st.integers(1, 3)))]
+            lines.append("echo " + " ".join(f"'{p}'" for p in parts))
+        elif kind == "arith":
+            a, b = draw(st.integers(0, 99)), draw(st.integers(1, 9))
+            op = draw(st.sampled_from(["+", "-", "*", "/", "%"]))
+            lines.append(f"echo $(({a}{op}{b}))")
+        elif kind == "ifcmp":
+            a, b = draw(st.integers(0, 5)), draw(st.integers(0, 5))
+            lines.append(f"if [ {a} -lt {b} ]; then echo L; else echo GE; fi")
+        elif kind == "forloop":
+            items = " ".join(draw(_words) for _ in range(draw(st.integers(1, 3))))
+            lines.append(f"for v in {items}; do echo i:$v; done")
+        else:
+            name = draw(_varnames)
+            if defined and draw(st.booleans()):
+                name = draw(st.sampled_from(defined))
+            op = draw(st.sampled_from([":-", ":=", ":+"]))
+            lines.append(f"echo [${{{name}{op}FB}}]")
+    return "\n".join(lines)
+
+
+@given(script=_safe_scripts())
+@settings(max_examples=60, deadline=None)
+def test_random_scripts_conform(script, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("dashconf")
+    check(script, tmp_path=tmp_path)

@@ -1,0 +1,237 @@
+"""Word expansion semantics: parameter ops, field splitting, quoting,
+$@/$*, IFS, pathname expansion, tilde — via end-to-end script runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semantics.expansion import split_fields
+from repro.semantics.patterns import quote_literal
+
+
+class TestParameterOps:
+    def test_default_unset(self, out_of):
+        assert out_of("echo ${x:-fallback}") == "fallback\n"
+        assert out_of("echo ${x-fallback}") == "fallback\n"
+
+    def test_default_null_colon_only(self, out_of):
+        assert out_of('x=""; echo ${x:-fb}') == "fb\n"
+        assert out_of('x=""; echo [${x-fb}]') == "[]\n"
+
+    def test_default_set(self, out_of):
+        assert out_of("x=v; echo ${x:-fb}") == "v\n"
+
+    def test_assign_default(self, out_of):
+        assert out_of("echo ${x:=new}; echo $x") == "new\nnew\n"
+
+    def test_alternate(self, out_of):
+        assert out_of("x=v; echo ${x:+alt}") == "alt\n"
+        assert out_of("echo [${x:+alt}]") == "[]\n"
+
+    def test_error_op(self, sh_run):
+        result = sh_run("echo ${x:?custom message}")
+        assert result.status != 0
+        assert "custom message" in result.err
+
+    def test_length(self, out_of):
+        assert out_of("x=hello; echo ${#x}") == "5\n"
+        assert out_of("echo ${#unset}") == "0\n"
+
+    def test_suffix_removal(self, out_of):
+        assert out_of("x=file.tar.gz; echo ${x%.gz}") == "file.tar\n"
+        assert out_of("x=file.tar.gz; echo ${x%%.*}") == "file\n"
+
+    def test_prefix_removal(self, out_of):
+        assert out_of("x=/a/b/c; echo ${x#*/}") == "a/b/c\n"
+        assert out_of("x=/a/b/c; echo ${x##*/}") == "c\n"
+
+    def test_pattern_from_variable(self, out_of):
+        assert out_of("x=aXb; p=X; echo ${x%${p}b}") == "a\n"
+
+    def test_nounset(self, sh_run):
+        result = sh_run("set -u; echo $missing")
+        assert result.status != 0
+
+
+class TestSpecialParams:
+    def test_positional(self, sh_run):
+        result = sh_run("echo $1:$2:${3}", args=["a", "b", "c"])
+        assert result.stdout == b"a:b:c\n"
+
+    def test_count(self, sh_run):
+        assert sh_run("echo $#", args=["x", "y"]).stdout == b"2\n"
+
+    def test_status(self, out_of):
+        assert out_of("false; echo $?; true; echo $?") == "1\n0\n"
+
+    def test_at_expands_to_fields(self, sh_run):
+        result = sh_run('for a in "$@"; do echo [$a]; done',
+                        args=["one", "two words", "three"])
+        assert result.stdout == b"[one]\n[two words]\n[three]\n"
+
+    def test_star_joins(self, sh_run):
+        result = sh_run('echo "$*"', args=["a", "b"])
+        assert result.stdout == b"a b\n"
+
+    def test_star_joins_with_ifs(self, sh_run):
+        result = sh_run('IFS=,; echo "$*"', args=["a", "b"])
+        assert result.stdout == b"a,b\n"
+
+    def test_unquoted_at_splits(self, sh_run):
+        result = sh_run("set -- 'a b' c; echo $#; set -- $@; echo $#")
+        assert result.stdout == b"2\n3\n"
+
+
+class TestQuoting:
+    def test_quotes_preserve_spaces(self, out_of):
+        assert out_of('x="a  b"; echo "$x"') == "a  b\n"
+
+    def test_unquoted_splits(self, out_of):
+        assert out_of('x="a  b"; echo $x') == "a b\n"
+
+    def test_empty_quoted_field_survives(self, sh_run):
+        result = sh_run('set -- "" b; echo $#')
+        assert result.stdout == b"2\n"
+
+    def test_empty_unquoted_vanishes(self, sh_run):
+        result = sh_run("x=; set -- $x b; echo $#")
+        assert result.stdout == b"1\n"
+
+    def test_single_quotes_block_all(self, out_of):
+        assert out_of("echo '$x `cmd` \\'") == "$x `cmd` \\\n"
+
+    def test_backslash_dollar(self, out_of):
+        assert out_of("echo \\$x") == "$x\n"
+
+
+class TestCmdSub:
+    def test_basic(self, out_of):
+        assert out_of("echo [$(echo inner)]") == "[inner]\n"
+
+    def test_trailing_newlines_stripped(self, out_of):
+        assert out_of('x=$(printf "a\\n\\n\\n"); echo "[$x]"') == "[a]\n"
+
+    def test_inner_newlines_kept_when_quoted(self, out_of):
+        assert out_of('x=$(printf "a\\nb"); echo "$x"') == "a\nb\n"
+
+    def test_splitting_unquoted(self, out_of):
+        assert out_of("set -- $(echo a b c); echo $#") == "3\n"
+
+    def test_nested(self, out_of):
+        assert out_of("echo $(echo $(echo deep))") == "deep\n"
+
+    def test_exit_status_visible(self, out_of):
+        assert out_of("x=$(false); echo $?") == "1\n"
+
+
+class TestArithSub:
+    def test_basic(self, out_of):
+        assert out_of("echo $((2+3))") == "5\n"
+
+    def test_vars_without_dollar(self, out_of):
+        assert out_of("x=6; echo $((x*7))") == "42\n"
+
+    def test_vars_with_dollar(self, out_of):
+        assert out_of("x=6; echo $(($x*7))") == "42\n"
+
+    def test_assignment_side_effect(self, out_of):
+        assert out_of("echo $((y=3)); echo $y") == "3\n3\n"
+
+    def test_no_field_splitting_needed(self, out_of):
+        assert out_of('echo "$((1+1))"') == "2\n"
+
+
+class TestIFS:
+    def test_custom_ifs(self, out_of):
+        assert out_of('IFS=:; x="a:b:c"; set -- $x; echo $#') == "3\n"
+
+    def test_empty_ifs_no_split(self, out_of):
+        assert out_of('IFS=; x="a b"; set -- $x; echo $#') == "1\n"
+
+    def test_hard_delimiter_empty_fields(self, out_of):
+        assert out_of('IFS=:; x="a::c"; set -- $x; echo $2-') == "-\n"
+
+
+class TestPathnameExpansion:
+    FILES = {"/w/a.txt": b"", "/w/b.txt": b"", "/w/c.log": b"", "/w/.h": b""}
+
+    def test_glob(self, sh_run):
+        result = sh_run("cd /w; echo *.txt", files=self.FILES)
+        assert result.stdout == b"a.txt b.txt\n"
+
+    def test_no_match_is_literal(self, sh_run):
+        result = sh_run("cd /w; echo *.nope", files=self.FILES)
+        assert result.stdout == b"*.nope\n"
+
+    def test_quoted_glob_is_literal(self, sh_run):
+        result = sh_run('cd /w; echo "*.txt"', files=self.FILES)
+        assert result.stdout == b"*.txt\n"
+
+    def test_noglob_option(self, sh_run):
+        result = sh_run("set -f; cd /w; echo *.txt", files=self.FILES)
+        assert result.stdout == b"*.txt\n"
+
+    def test_absolute_glob(self, sh_run):
+        result = sh_run("echo /w/*.log", files=self.FILES)
+        assert result.stdout == b"/w/c.log\n"
+
+    def test_hidden_excluded(self, sh_run):
+        result = sh_run("cd /w; echo *", files=self.FILES)
+        assert b".h" not in result.stdout
+
+    def test_question_mark(self, sh_run):
+        result = sh_run("cd /w; echo ?.txt", files=self.FILES)
+        assert result.stdout == b"a.txt b.txt\n"
+
+    def test_glob_from_variable(self, sh_run):
+        result = sh_run("cd /w; p='*.txt'; echo $p", files=self.FILES)
+        assert result.stdout == b"a.txt b.txt\n"
+
+
+class TestTilde:
+    def test_home(self, out_of):
+        assert out_of("echo ~") == "/root\n"
+
+    def test_home_slash(self, out_of):
+        assert out_of("echo ~/x") == "/root/x\n"
+
+    def test_quoted_tilde_literal(self, out_of):
+        assert out_of('echo "~"') == "~\n"
+
+    def test_named_user(self, out_of):
+        assert out_of("echo ~alice/f") == "/home/alice/f\n"
+
+    def test_custom_home(self, out_of):
+        assert out_of("HOME=/custom; echo ~") == "/custom\n"
+
+
+# ---------------------------------------------------------------------------
+# split_fields unit properties
+# ---------------------------------------------------------------------------
+
+
+class TestSplitFields:
+    def test_default_whitespace(self):
+        assert split_fields("a b  c", " \t\n") == ["a", "b", "c"]
+
+    def test_leading_trailing(self):
+        assert split_fields("  a  ", " \t\n") == ["a"]
+
+    def test_hard_delimiters(self):
+        assert split_fields("a::b", ":") == ["a", "", "b"]
+
+    def test_trailing_hard_delimiter_no_empty(self):
+        assert split_fields("a:", ":") == ["a"]
+
+    def test_quoted_chars_never_split(self):
+        marked = quote_literal("a b")
+        assert split_fields(marked, " \t\n") == [marked]
+
+
+@given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4),
+                min_size=0, max_size=6))
+@settings(max_examples=200, deadline=None)
+def test_split_roundtrip_on_space_join(fields):
+    """Joining non-empty IFS-free fields with single spaces and
+    re-splitting recovers the fields."""
+    joined = " ".join(fields)
+    assert split_fields(joined, " \t\n") == fields

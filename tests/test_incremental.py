@@ -1,0 +1,179 @@
+"""Incremental computation framework tests: replay, append-only delta,
+invalidation, purity/region gating, cache mechanics."""
+
+import pytest
+
+from repro.incremental import (
+    IncrementalCache,
+    IncrementalConfig,
+    IncrementalOptimizer,
+    digest,
+    region_key,
+)
+from repro.incremental.cache import CacheEntry
+from repro.shell import Shell
+
+from .conftest import fast_machine
+
+
+@pytest.fixture
+def inc_shell():
+    inc = IncrementalOptimizer(
+        IncrementalConfig(min_input_bytes=16)
+    )
+    shell = Shell(fast_machine(), optimizer=inc)
+    shell.optimizer_hook = inc
+    return shell
+
+
+LOG = b"".join(
+    b"host%d %s request%d\n" % (i % 5, b"ERROR" if i % 9 == 0 else b"INFO", i)
+    for i in range(2000)
+)
+
+
+class TestReplay:
+    def test_second_run_replayed(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        script = "grep ERROR /log | wc -l > /out"
+        r1 = inc_shell.run(script)
+        r2 = inc_shell.run(script)
+        assert r1.status == r2.status == 0
+        assert inc_shell.optimizer_hook.events[-1].decision == "replayed"
+        assert inc_shell.fs.read_bytes("/out").strip().isdigit()
+
+    def test_replay_faster(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        script = "cat /log | sort > /out"
+        r1 = inc_shell.run(script)
+        r2 = inc_shell.run(script)
+        assert r2.elapsed < r1.elapsed
+
+    def test_replay_to_stdout(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        r1 = inc_shell.run("grep -c ERROR /log")
+        r2 = inc_shell.run("grep -c ERROR /log")
+        assert r1.stdout == r2.stdout
+
+    def test_different_args_not_replayed(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        inc_shell.run("grep ERROR /log > /o1")
+        inc_shell.run("grep INFO /log > /o2")
+        decisions = [e.decision for e in inc_shell.optimizer_hook.events]
+        assert decisions.count("computed") == 2
+
+    def test_changed_input_invalidates(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        inc_shell.run("grep -c ERROR /log > /out")
+        # rewrite with different content (different size -> new key)
+        inc_shell.fs.write_bytes("/log", LOG + b"extra ERROR line\n",
+                                 mtime=inc_shell.kernel.now + 1)
+        inc_shell.run("grep -c ERROR /log > /out")
+        last = inc_shell.optimizer_hook.events[-1]
+        assert last.decision in ("computed", "extended")
+
+
+class TestAppendOnlyDelta:
+    def test_extends_stateless_region(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        script = "grep ERROR /log > /out"
+        inc_shell.run(script)
+        node = inc_shell.fs.files["/log"]
+        node.data.extend(b"hostX ERROR appended\n" * 10)
+        node.mtime = inc_shell.kernel.now + 5
+        inc_shell.run(script)
+        assert inc_shell.optimizer_hook.events[-1].decision == "extended"
+        out = inc_shell.fs.read_bytes("/out")
+        assert out.count(b"appended") == 10
+        # correctness vs fresh computation
+        fresh = Shell(fast_machine())
+        fresh.fs.write_bytes("/log", bytes(node.data))
+        fresh.run(script)
+        assert fresh.fs.read_bytes("/out") == out
+
+    def test_non_stateless_region_recomputed(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        script = "cat /log | sort > /out"
+        inc_shell.run(script)
+        node = inc_shell.fs.files["/log"]
+        node.data.extend(b"aaa first line\n")
+        node.mtime = inc_shell.kernel.now + 5
+        inc_shell.run(script)
+        assert inc_shell.optimizer_hook.events[-1].decision == "computed"
+        assert inc_shell.fs.read_bytes("/out").startswith(b"aaa")
+
+    def test_in_place_edit_not_treated_as_append(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        script = "grep ERROR /log > /out"
+        inc_shell.run(script)
+        # grow the file but also corrupt the prefix
+        node = inc_shell.fs.files["/log"]
+        node.data[0:4] = b"XXXX"
+        node.data.extend(b"more\n")
+        node.mtime = inc_shell.kernel.now + 5
+        inc_shell.run(script)
+        assert inc_shell.optimizer_hook.events[-1].decision == "computed"
+
+
+class TestGating:
+    def test_impure_region_interpreted(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        r = inc_shell.run("grep ERROR $(echo /log)")
+        assert r.status == 0
+        events = inc_shell.optimizer_hook.events
+        assert all(e.decision == "interpreted" for e in events if e.node_text)
+
+    def test_small_input_skipped(self):
+        inc = IncrementalOptimizer()  # default 4096-byte floor
+        shell = Shell(fast_machine(), optimizer=inc)
+        shell.fs.write_bytes("/f", b"tiny\n")
+        shell.run("grep t /f > /o")
+        assert all(e.decision == "interpreted" for e in inc.events)
+
+    def test_side_effectful_not_cached(self, inc_shell):
+        inc_shell.fs.write_bytes("/log", LOG)
+        r = inc_shell.run("cat /log | tee /copy > /out")
+        assert r.status == 0
+        # the tee-containing region must not be cached (inner pure stages
+        # like the bare `cat /log` may be — that is sound)
+        tee_events = [e for e in inc_shell.optimizer_hook.events
+                      if "tee" in e.node_text]
+        assert tee_events
+        assert all(e.decision == "interpreted" for e in tee_events)
+        assert inc_shell.fs.read_bytes("/copy") == LOG
+
+    def test_pipe_input_not_cached(self, inc_shell):
+        r = inc_shell.run("seq 100 | wc -l")
+        assert r.stdout.strip() == b"100"
+
+
+class TestCacheMechanics:
+    def test_eviction(self):
+        cache = IncrementalCache(capacity_bytes=100)
+        for i in range(10):
+            cache.put(CacheEntry(f"k{i}", b"x" * 30, 0), f"sig{i}")
+        assert cache.size_bytes <= 100
+
+    def test_region_key_sensitive_to_argv(self):
+        k1 = region_key([["grep", "a"]], ["fp1"])
+        k2 = region_key([["grep", "b"]], ["fp1"])
+        k3 = region_key([["grep", "a"]], ["fp2"])
+        assert len({k1, k2, k3}) == 3
+
+    def test_region_key_injective_on_boundaries(self):
+        # ["ab","c"] must differ from ["a","bc"]
+        assert region_key([["ab", "c"]], []) != region_key([["a", "bc"]], [])
+
+    def test_digest(self):
+        assert digest(b"x") != digest(b"y")
+        assert digest(b"same") == digest(b"same")
+
+    def test_stats(self):
+        cache = IncrementalCache()
+        cache.get("missing")
+        cache.put(CacheEntry("k", b"v", 0), "sig")
+        cache.get("k")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1

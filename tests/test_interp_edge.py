@@ -1,0 +1,184 @@
+"""Deeper interpreter conformance: edge cases around quoting, redirect
+expansion, nested constructs, status propagation, and dynamic behavior
+the paper's B2 highlights."""
+
+import pytest
+
+
+class TestDynamicBehaviour:
+    """B2: 'the behavior of a shell program cannot be known statically'."""
+
+    def test_command_name_from_variable(self, out_of):
+        assert out_of("cmd=echo; $cmd dynamic") == "dynamic\n"
+
+    def test_args_from_cmdsub_splitting(self, out_of):
+        assert out_of("wc -l $(echo /a /b)",
+                      files={"/a": b"1\n", "/b": b"2\n"}).endswith("total\n")
+
+    def test_redirect_target_from_variable(self, sh_run):
+        sh_run("f=/tmp/dyn; echo v > $f")
+        assert sh_run.shell.fs.read_bytes("/tmp/dyn") == b"v\n"
+
+    def test_grep_pwd_example(self, sh_run):
+        """The paper's B2 example: grep $PWD -in ~/.*shrc."""
+        files = {"/root/.bashrc": b"export PATH\ncd /work\n"}
+        result = sh_run("cd /work; grep -c /work ~/.bashrc", files=files)
+        sh_run.shell.fs.mkdir("/work")
+        result = sh_run("cd /work; grep -c $PWD ~/.bashrc", files=files)
+        assert result.stdout.strip() == b"1"
+
+    def test_behaviour_depends_on_fs_state(self, sh_run):
+        script = "if [ -f /flag ]; then echo present; else echo absent; fi"
+        assert sh_run(script).stdout == b"absent\n"
+        sh_run.shell.fs.write_bytes("/flag", b"")
+        assert sh_run(script).stdout == b"present\n"
+
+
+class TestNesting:
+    def test_function_defines_function(self, out_of):
+        assert out_of("outer() { inner() { echo deep; }; inner; }; outer") \
+            == "deep\n"
+
+    def test_cmdsub_inside_heredoc(self, out_of):
+        assert out_of("cat <<EOF\nval=$(echo 42)\nEOF") == "val=42\n"
+
+    def test_cmdsub_inside_arith(self, out_of):
+        assert out_of("echo $(( $(echo 6) * 7 ))") == "42\n"
+
+    def test_pipeline_in_cmdsub(self, out_of):
+        assert out_of("echo $(seq 5 | wc -l)") == "5\n"
+
+    def test_case_inside_loop(self, out_of):
+        script = (
+            "for x in a b c; do case $x in b) echo hit;; esac; done"
+        )
+        assert out_of(script) == "hit\n"
+
+    def test_loop_inside_function_with_break(self, out_of):
+        script = (
+            "f() { for i in 1 2 3; do [ $i = 2 ] && return 7; done; }; "
+            "f; echo $?"
+        )
+        assert out_of(script) == "7\n"
+
+    def test_subshell_in_pipeline(self, out_of):
+        assert out_of("(echo a; echo b) | wc -l").strip() == "2"
+
+    def test_deeply_nested_quoting(self, out_of):
+        assert out_of('echo "$(echo "$(echo "inner")")"') == "inner\n"
+
+
+class TestRedirectEdgeCases:
+    def test_order_matters_redirect_then_dup(self, sh_run):
+        # > file 2>&1 sends both to file
+        result = sh_run("{ echo out; no_such_cmd; } > /tmp/both 2>&1")
+        data = sh_run.shell.fs.read_bytes("/tmp/both")
+        assert b"out" in data and b"not found" in data
+        assert result.stdout == b"" and result.err == ""
+
+    def test_dup_then_redirect(self, sh_run):
+        # 2>&1 > file: stderr goes to the OLD stdout
+        result = sh_run("{ echo out; no_such_cmd; } 2>&1 > /tmp/only_out")
+        assert b"not found" in result.stdout
+        assert sh_run.shell.fs.read_bytes("/tmp/only_out") == b"out\n"
+
+    def test_multiple_output_files(self, sh_run):
+        sh_run("echo x > /tmp/a > /tmp/b")
+        # last redirect wins; earlier file is created empty
+        assert sh_run.shell.fs.read_bytes("/tmp/b") == b"x\n"
+        assert sh_run.shell.fs.read_bytes("/tmp/a") == b""
+
+    def test_input_and_output(self, sh_run):
+        result = sh_run("tr a-z A-Z < /in > /out", files={"/in": b"abc\n"})
+        assert sh_run.shell.fs.read_bytes("/out") == b"ABC\n"
+
+    def test_heredoc_feeds_loop(self, out_of):
+        script = "while read x; do echo got:$x; done <<EOF\n1\n2\nEOF"
+        assert out_of(script) == "got:1\ngot:2\n"
+
+    def test_append_accumulates_across_commands(self, sh_run):
+        sh_run("for i in 1 2 3; do echo $i >> /tmp/acc; done")
+        assert sh_run.shell.fs.read_bytes("/tmp/acc") == b"1\n2\n3\n"
+
+    def test_noclobber_pipe_variant(self, sh_run):
+        sh_run("echo x >| /tmp/f")
+        assert sh_run.shell.fs.read_bytes("/tmp/f") == b"x\n"
+
+
+class TestStatusPropagation:
+    def test_cmdsub_status_in_condition(self, out_of):
+        assert out_of("if $(exit 0); then echo ok; fi") == "ok\n"
+
+    def test_function_status_from_last_command(self, sh_run):
+        assert sh_run("f() { true; false; }; f").status == 1
+
+    def test_loop_status_from_last_iteration(self, sh_run):
+        assert sh_run("for i in 1 2; do test $i = 1; done").status == 1
+
+    def test_empty_loop_status_zero(self, sh_run):
+        assert sh_run("false; for i in; do false; done").status == 0
+
+    def test_subshell_exit_does_not_kill_parent(self, out_of):
+        assert out_of("(exit 9); echo after=$?") == "after=9\n"
+
+    def test_exit_in_cmdsub_does_not_kill_parent(self, out_of):
+        assert out_of("x=$(exit 5); echo got=$?") == "got=5\n"
+
+    def test_errexit_inside_function_propagates(self, sh_run):
+        result = sh_run("set -e; f() { false; echo no; }; f; echo never")
+        assert result.status == 1
+        assert result.stdout == b""
+
+
+class TestWordEdgeCases:
+    def test_empty_command_from_expansion(self, sh_run):
+        # $empty expands to nothing: the line becomes an assignment-free
+        # no-op with status 0
+        assert sh_run("empty=; $empty; echo $?").stdout == b"0\n"
+
+    def test_adjacent_expansions_concatenate(self, out_of):
+        assert out_of("a=foo; b=bar; echo $a$b") == "foobar\n"
+
+    def test_quoted_adjacent(self, out_of):
+        assert out_of("a='x y'; echo \"$a\"z") == "x yz\n"
+
+    def test_args_with_equals_not_assignment(self, out_of):
+        assert out_of("echo name=value") == "name=value\n"
+
+    def test_dash_operand(self, out_of):
+        assert out_of("echo - -n") == "- -n\n"
+
+    def test_double_dash(self, out_of):
+        assert out_of("sort -- /f", files={"/f": b"b\na\n"}) == "a\nb\n"
+
+    def test_backslash_newline_in_word(self, out_of):
+        assert out_of("echo con\\\ntinued") == "continued\n"
+
+    def test_ifs_change_mid_script(self, out_of):
+        script = 'x=a:b; set -- $x; n1=$#; IFS=:; set -- $x; echo $n1,$#'
+        assert out_of(script) == "1,2\n"
+
+
+class TestInteractiveLikeUse:
+    """G4: the shell as a lived-in environment — state accumulation
+    across many small commands."""
+
+    def test_session_accumulation(self, sh_run):
+        shell = sh_run.shell
+        from repro.shell import Shell
+
+        session = Shell(shell.machine, kernel=shell.kernel,
+                        persist_state=True)
+        session.run("mkdir -p /proj")
+        session.run("cd /proj")
+        session.run("echo data > notes.txt")
+        session.run("count=$(wc -l < notes.txt)")
+        result = session.run('echo "$PWD has $count line(s)"')
+        assert result.stdout == b"/proj has 1 line(s)\n"
+
+    def test_dollar_question_persists(self, sh_run):
+        from repro.shell import Shell
+
+        session = Shell(sh_run.shell.machine, persist_state=True)
+        session.run("false")
+        assert session.run("echo $?").stdout == b"1\n"

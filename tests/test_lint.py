@@ -1,0 +1,147 @@
+"""Lint / misuse-guard / explain tests (S13)."""
+
+import pytest
+
+from repro.lint import Diagnostic, explain, explain_command, lint
+from repro.lint.misuse import MisuseConfig, MisuseGuard
+from repro.shell import Shell
+
+from .conftest import fast_machine
+
+
+def codes(source: str) -> set[str]:
+    return {d.code for d in lint(source)}
+
+
+class TestStaticChecks:
+    def test_unquoted_expansion(self):
+        assert "JS2086" in codes("grep $pat file")
+
+    def test_quoted_expansion_clean(self):
+        assert "JS2086" not in codes('grep "$pat" file')
+
+    def test_dangerous_rm(self):
+        diagnostics = lint("rm -rf $dir")
+        assert any(d.code == "JS2115" and d.severity == "warning"
+                   for d in diagnostics)
+
+    def test_useless_cat(self):
+        assert "JS2002" in codes("cat file | wc -l")
+        assert "JS2002" not in codes("cat a b | wc -l")  # real concatenation
+
+    def test_read_without_r(self):
+        assert "JS2162" in codes("while read line; do echo $line; done")
+        assert "JS2162" not in codes("while read -r line; do :; done")
+
+    def test_cd_unguarded(self):
+        assert "JS2164" in codes("cd /tmp\nls")
+        assert "JS2164" not in codes("cd /tmp || exit 1")
+
+    def test_clobbered_input(self):
+        diagnostics = lint("sort data.txt > data.txt")
+        assert any(d.code == "JS2094" and d.severity == "error"
+                   for d in diagnostics)
+
+    def test_clobber_via_pipeline(self):
+        assert "JS2094" in codes("grep x log | sort > log")
+
+    def test_backticks(self):
+        assert "JS2006" in codes("echo `date`")
+        assert "JS2006" not in codes("echo $(date)")
+
+    def test_for_over_ls(self):
+        assert "JS2045" in codes("for f in `ls *.txt`; do echo $f; done")
+
+    def test_assignment_with_spaces(self):
+        diagnostics = lint("x = 1")
+        assert any(d.code == "JS1068" and d.severity == "error"
+                   for d in diagnostics)
+
+    def test_clean_script(self):
+        clean = 'set -e\ncd /data || exit 1\nsort -u "$1" > /tmp/out\n'
+        assert {d.severity for d in lint(clean)} <= {"info"}
+
+    def test_severity_ordering(self):
+        diagnostics = lint("x = 1\necho $unquoted")
+        severities = [d.severity for d in diagnostics]
+        assert severities == sorted(
+            severities, key=lambda s: {"error": 0, "warning": 1, "info": 2}[s]
+        )
+
+
+class TestMisuseGuard:
+    def make_shell(self, enforce=True):
+        guard = MisuseGuard(MisuseConfig(enforce=enforce))
+        shell = Shell(fast_machine(), optimizer=guard)
+        return shell, guard
+
+    def test_blocks_self_clobber(self):
+        shell, guard = self.make_shell()
+        shell.fs.write_bytes("/data/f", b"b\na\n")
+        result = shell.run("sort /data/f > /data/f")
+        assert result.status == 125
+        assert shell.fs.read_bytes("/data/f") == b"b\na\n"  # preserved!
+        assert any(f.code == "JM001" for f in guard.findings)
+
+    def test_reports_without_enforce(self):
+        shell, guard = self.make_shell(enforce=False)
+        shell.fs.write_bytes("/data/f", b"b\na\n")
+        result = shell.run("sort /data/f > /data/f")
+        assert any(f.code == "JM001" for f in guard.findings)
+        # not blocked: the file is now clobbered (the classic accident)
+        assert shell.fs.read_bytes("/data/f") in (b"", b"a\nb\n")
+
+    def test_missing_input_detected_before_execution(self):
+        shell, guard = self.make_shell(enforce=False)
+        shell.run("grep pat /not/there | wc -l")
+        assert any(f.code == "JM003" for f in guard.findings)
+
+    def test_unknown_flag(self):
+        shell, guard = self.make_shell(enforce=False)
+        shell.fs.write_bytes("/f", b"x\n")
+        shell.run("sort -Z /f")
+        assert any(f.code == "JM002" for f in guard.findings)
+
+    def test_unknown_command(self):
+        shell, guard = self.make_shell(enforce=False)
+        shell.run("no_such_tool --flag")
+        assert any(f.code == "JM404" for f in guard.findings)
+
+    def test_runtime_knowledge_no_false_positive(self):
+        """The guard sees *expanded* values (the JIT advantage): $f
+        resolves to an existing file, so no missing-file warning."""
+        shell, guard = self.make_shell(enforce=False)
+        shell.fs.write_bytes("/real", b"data\n")
+        shell.run("f=/real; grep data $f")
+        assert not any(f.code == "JM003" for f in guard.findings)
+
+    def test_clean_commands_pass_through(self):
+        shell, guard = self.make_shell()
+        shell.fs.write_bytes("/f", b"b\na\n")
+        result = shell.run("sort /f > /out")
+        assert result.status == 0
+        assert shell.fs.read_bytes("/out") == b"a\nb\n"
+
+
+class TestExplain:
+    def test_command_summary(self):
+        text = explain_command(["sort", "-rn"])
+        assert "sort" in text
+        assert "-r" in text and "-n" in text
+        assert "aggregator" in text
+
+    def test_pipeline(self):
+        text = explain("cut -c 89-92 | grep -v 999 | sort -rn | head -n1")
+        assert "3/4 stages are parallelizable" in text
+
+    def test_dynamic_stage_notes_jit(self):
+        text = explain("cat $FILES | sort")
+        assert "JIT" in text
+
+    def test_unknown_flag_marked(self):
+        text = explain_command(["grep", "-Z", "x"])
+        assert "undocumented" in text
+
+    def test_stdin_dash(self):
+        text = explain_command(["comm", "-13", "dict", "-"])
+        assert "standard input" in text

@@ -1,0 +1,292 @@
+"""Grammar tests: every compound construct of POSIX XCU 2.10."""
+
+import pytest
+
+from repro.parser import (
+    AndOr,
+    BraceGroup,
+    Case,
+    CommandList,
+    For,
+    FuncDef,
+    If,
+    Pipeline,
+    Redirect,
+    ShellSyntaxError,
+    SimpleCommand,
+    Subshell,
+    While,
+    parse,
+    parse_one,
+    split_assignment,
+    word_literal,
+)
+from repro.parser.ast_nodes import Lit, Word
+
+
+class TestSimpleCommands:
+    def test_words(self):
+        cmd = parse_one("echo a b c")
+        assert isinstance(cmd, SimpleCommand)
+        assert len(cmd.words) == 4
+
+    def test_assignment_prefix(self):
+        cmd = parse_one("X=1 Y=two echo ok")
+        assert [a.name for a in cmd.assigns] == ["X", "Y"]
+        assert len(cmd.words) == 2
+
+    def test_pure_assignment(self):
+        cmd = parse_one("X=1")
+        assert cmd.words == ()
+        assert cmd.assigns[0].name == "X"
+
+    def test_assignment_after_command_is_word(self):
+        cmd = parse_one("env X=1")
+        assert not cmd.assigns
+        assert len(cmd.words) == 2
+
+    def test_invalid_assignment_name_is_word(self):
+        cmd = parse_one("1x=2")
+        assert not cmd.assigns
+        assert len(cmd.words) == 1
+
+    def test_split_assignment_helper(self):
+        name, value = split_assignment(Word((Lit("A=b c"),)))
+        assert name == "A"
+        assert value.parts == (Lit("b c"),)
+        assert split_assignment(Word((Lit("=x"),))) is None
+
+
+class TestRedirects:
+    @pytest.mark.parametrize("src,op,fd", [
+        ("cmd < in", "<", None),
+        ("cmd > out", ">", None),
+        ("cmd >> log", ">>", None),
+        ("cmd 2> err", ">", 2),
+        ("cmd 2>&1", ">&", 2),
+        ("cmd <&3", "<&", None),
+        ("cmd <> both", "<>", None),
+        ("cmd >| clobber", ">|", None),
+    ])
+    def test_forms(self, src, op, fd):
+        cmd = parse_one(src)
+        redirect = cmd.redirects[0]
+        assert redirect.op == op
+        assert redirect.fd == fd
+
+    def test_default_fd(self):
+        assert Redirect("<", Word((Lit("f"),))).default_fd() == 0
+        assert Redirect(">", Word((Lit("f"),))).default_fd() == 1
+        assert Redirect(">", Word((Lit("f"),)), fd=2).default_fd() == 2
+
+    def test_redirect_before_command(self):
+        cmd = parse_one("> out echo hi")
+        assert cmd.redirects[0].op == ">"
+        assert word_literal(cmd.words[0]) == "echo"
+
+    def test_missing_target(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("cmd >")
+
+
+class TestPipelines:
+    def test_two_stage(self):
+        cmd = parse_one("a | b")
+        assert isinstance(cmd, Pipeline)
+        assert len(cmd.commands) == 2
+
+    def test_negation(self):
+        cmd = parse_one("! true")
+        assert isinstance(cmd, Pipeline)
+        assert cmd.negated
+
+    def test_newline_after_pipe(self):
+        cmd = parse_one("a |\n b")
+        assert len(cmd.commands) == 2
+
+    def test_compound_in_pipeline(self):
+        cmd = parse_one("seq 3 | { wc -l; }")
+        assert isinstance(cmd.commands[1], BraceGroup)
+
+
+class TestAndOr:
+    def test_chain(self):
+        cmd = parse_one("a && b || c")
+        assert isinstance(cmd, AndOr)
+        assert cmd.op == "||"
+        assert isinstance(cmd.left, AndOr)
+        assert cmd.left.op == "&&"
+
+    def test_newline_after_op(self):
+        cmd = parse_one("a &&\n b")
+        assert isinstance(cmd, AndOr)
+
+
+class TestLists:
+    def test_semicolons(self):
+        program = parse("a; b; c")
+        assert len(program.items) == 3
+
+    def test_async(self):
+        program = parse("slow & fast")
+        assert program.items[0].is_async
+        assert not program.items[1].is_async
+
+    def test_newlines(self):
+        program = parse("a\nb\n\nc\n")
+        assert len(program.items) == 3
+
+    def test_empty_program(self):
+        assert parse("").items == ()
+        assert parse("\n\n# comment only\n").items == ()
+
+
+class TestIf:
+    def test_basic(self):
+        cmd = parse_one("if a; then b; fi")
+        assert isinstance(cmd, If)
+        assert cmd.else_body is None
+
+    def test_else(self):
+        cmd = parse_one("if a; then b; else c; fi")
+        assert cmd.else_body is not None
+
+    def test_elif_chain(self):
+        cmd = parse_one("if a; then b; elif c; then d; elif e; then f; else g; fi")
+        assert len(cmd.elifs) == 2
+        assert cmd.else_body is not None
+
+    def test_multiline(self):
+        cmd = parse_one("if a\nthen\n b\nfi")
+        assert isinstance(cmd, If)
+
+    def test_missing_fi(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("if a; then b")
+
+    def test_quoted_keyword_not_recognized(self):
+        # "if" quoted is a command name, not a keyword
+        cmd = parse_one('"if" x')
+        assert isinstance(cmd, SimpleCommand)
+
+
+class TestLoops:
+    def test_while(self):
+        cmd = parse_one("while a; do b; done")
+        assert isinstance(cmd, While)
+        assert not cmd.until
+
+    def test_until(self):
+        cmd = parse_one("until a; do b; done")
+        assert cmd.until
+
+    def test_for_words(self):
+        cmd = parse_one("for x in 1 2 3; do echo $x; done")
+        assert isinstance(cmd, For)
+        assert len(cmd.words) == 3
+
+    def test_for_implicit(self):
+        cmd = parse_one("for x do echo $x; done")
+        assert cmd.words is None
+
+    def test_for_empty_in(self):
+        cmd = parse_one("for x in; do echo $x; done")
+        assert cmd.words == ()
+
+    def test_for_bad_name(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("for 1x in a; do b; done")
+
+    def test_nested_loops(self):
+        cmd = parse_one(
+            "for i in 1 2; do for j in a b; do echo $i$j; done; done"
+        )
+        inner = cmd.body.items[0].command
+        assert isinstance(inner, For)
+
+
+class TestCase:
+    def test_basic(self):
+        cmd = parse_one("case $x in a) echo a;; b|c) echo bc;; esac")
+        assert isinstance(cmd, Case)
+        assert len(cmd.items) == 2
+        assert len(cmd.items[1].patterns) == 2
+
+    def test_open_paren_pattern(self):
+        cmd = parse_one("case x in (a) echo a;; esac")
+        assert len(cmd.items) == 1
+
+    def test_empty_body(self):
+        cmd = parse_one("case x in a) ;; esac")
+        assert cmd.items[0].body is None
+
+    def test_last_item_no_dsemi(self):
+        # the last item may omit ';;' (after a command separator)
+        cmd = parse_one("case x in a) echo a; esac")
+        assert len(cmd.items) == 1
+
+    def test_glob_patterns(self):
+        cmd = parse_one("case $f in *.txt) echo text;; *) echo other;; esac")
+        assert len(cmd.items) == 2
+
+
+class TestGroups:
+    def test_subshell(self):
+        cmd = parse_one("(a; b)")
+        assert isinstance(cmd, Subshell)
+        assert len(cmd.body.items) == 2
+
+    def test_brace_group(self):
+        cmd = parse_one("{ a; b; }")
+        assert isinstance(cmd, BraceGroup)
+
+    def test_group_redirect(self):
+        cmd = parse_one("{ a; } > out")
+        assert cmd.redirects[0].op == ">"
+
+    def test_nested_subshell(self):
+        cmd = parse_one("((echo a); echo b)")
+        assert isinstance(cmd, Subshell)
+        assert isinstance(cmd.body.items[0].command, Subshell)
+
+
+class TestFunctions:
+    def test_basic(self):
+        cmd = parse_one("f() { echo hi; }")
+        assert isinstance(cmd, FuncDef)
+        assert cmd.name == "f"
+
+    def test_subshell_body(self):
+        cmd = parse_one("f() (echo hi)")
+        assert isinstance(cmd.body, Subshell)
+
+    def test_newline_before_body(self):
+        cmd = parse_one("f()\n{ echo hi; }")
+        assert isinstance(cmd, FuncDef)
+
+    def test_call_after_definition(self):
+        program = parse("f() { echo hi; }; f")
+        assert len(program.items) == 2
+
+
+class TestPaperScripts:
+    """The exact scripts the paper shows must parse."""
+
+    def test_temperature_pipeline(self):
+        cmd = parse_one("cut -c 89-92 | grep -v 999 | sort -rn | head -n1")
+        assert isinstance(cmd, Pipeline)
+        assert len(cmd.commands) == 4
+
+    def test_spell_script(self):
+        program = parse(
+            'FILES="$@"\n'
+            "cat $FILES | tr A-Z a-z |\n"
+            "tr -cs A-Za-z '\\n' | sort -u | comm -13 $DICT -\n"
+        )
+        assert len(program.items) == 2
+        pipeline = program.items[1].command
+        assert len(pipeline.commands) == 5
+
+    def test_grep_pwd(self):
+        cmd = parse_one("grep $PWD -in ~/.bashrc")
+        assert isinstance(cmd, SimpleCommand)

@@ -1,0 +1,223 @@
+"""Lexer-level tests: tokens, quoting, substitutions, here-docs."""
+
+import pytest
+
+from repro.parser import (
+    ArithSub,
+    CmdSub,
+    DoubleQuoted,
+    Escaped,
+    Lit,
+    Param,
+    ShellSyntaxError,
+    SingleQuoted,
+    Word,
+    parse,
+    parse_one,
+)
+from repro.parser.ast_nodes import SimpleCommand
+from repro.parser.lexer import is_name
+
+
+def first_word(src: str) -> Word:
+    cmd = parse_one(src)
+    assert isinstance(cmd, SimpleCommand)
+    return cmd.words[0]
+
+
+class TestIsName:
+    def test_simple(self):
+        assert is_name("x")
+        assert is_name("_private")
+        assert is_name("ABC_123")
+
+    def test_rejects(self):
+        assert not is_name("")
+        assert not is_name("1x")
+        assert not is_name("a-b")
+        assert not is_name("a.b")
+
+
+class TestWords:
+    def test_plain_literal(self):
+        assert first_word("hello").parts == (Lit("hello"),)
+
+    def test_single_quotes(self):
+        assert first_word("'a b c'").parts == (SingleQuoted("a b c"),)
+
+    def test_single_quotes_no_expansion(self):
+        assert first_word("'$x'").parts == (SingleQuoted("$x"),)
+
+    def test_double_quotes_literal(self):
+        word = first_word('"plain"')
+        assert word.parts == (DoubleQuoted((Lit("plain"),)),)
+
+    def test_double_quotes_with_param(self):
+        word = first_word('"a $x b"')
+        (dq,) = word.parts
+        assert dq.parts == (Lit("a "), Param("x"), Lit(" b"))
+
+    def test_escape_outside_quotes(self):
+        assert first_word(r"a\ b").parts == (Lit("a"), Escaped(" "), Lit("b"))
+
+    def test_escape_in_dquotes_special_only(self):
+        word = first_word(r'"\$ \n"')
+        (dq,) = word.parts
+        # \$ escapes; \n stays backslash-n
+        assert dq.parts == (Escaped("$"), Lit(" \\n"))
+
+    def test_mixed_quoting(self):
+        word = first_word("""a'b'"c"d""")
+        assert word.parts == (
+            Lit("a"), SingleQuoted("b"), DoubleQuoted((Lit("c"),)), Lit("d"),
+        )
+
+    def test_line_continuation(self):
+        program = parse("echo a\\\nb")
+        cmd = program.items[0].command
+        assert cmd.words[1].parts == (Lit("ab"),)
+
+
+class TestParams:
+    def test_dollar_name(self):
+        assert first_word("$foo").parts == (Param("foo"),)
+
+    def test_braced(self):
+        assert first_word("${foo}").parts == (Param("foo"),)
+
+    def test_special_params(self):
+        for ch in "@*#?-$!":
+            assert first_word(f"${ch}").parts == (Param(ch),)
+
+    def test_positional(self):
+        assert first_word("$1").parts == (Param("1"),)
+        assert first_word("${12}").parts == (Param("12"),)
+
+    def test_length(self):
+        assert first_word("${#foo}").parts == (Param("foo", "length"),)
+
+    def test_default_ops(self):
+        for op in ("-", ":-", "=", ":=", "?", ":?", "+", ":+"):
+            word = first_word("${x" + op + "fallback}")
+            (param,) = word.parts
+            assert param.op == op
+            assert param.word.parts == (Lit("fallback"),)
+
+    def test_pattern_ops(self):
+        for op in ("#", "##", "%", "%%"):
+            word = first_word("${x" + op + "*.txt}")
+            (param,) = word.parts
+            assert param.op == op
+
+    def test_nested_expansion_in_operand(self):
+        word = first_word("${x:-$y}")
+        (param,) = word.parts
+        assert param.word.parts == (Param("y"),)
+
+    def test_dollar_alone_is_literal(self):
+        word = first_word("a$")
+        assert word.parts == (Lit("a"), Lit("$"))
+
+    def test_bad_op_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("echo ${x@}")
+
+
+class TestSubstitutions:
+    def test_cmdsub(self):
+        word = first_word("$(echo hi)")
+        (sub,) = word.parts
+        assert isinstance(sub, CmdSub)
+
+    def test_backtick(self):
+        word = first_word("`echo hi`")
+        (sub,) = word.parts
+        assert isinstance(sub, CmdSub)
+        assert sub.backtick
+
+    def test_backtick_equals_dollar_paren(self):
+        assert first_word("`date`") == first_word("$(date)")
+
+    def test_nested_cmdsub(self):
+        word = first_word("$(echo $(echo inner))")
+        (outer,) = word.parts
+        inner_cmd = outer.command.items[0].command
+        assert isinstance(inner_cmd.words[1].parts[0], CmdSub)
+
+    def test_arith(self):
+        word = first_word("$((1+2))")
+        (sub,) = word.parts
+        assert isinstance(sub, ArithSub)
+        assert sub.parts == (Lit("1+2"),)
+
+    def test_arith_with_params(self):
+        word = first_word("$((x*2))")
+        (sub,) = word.parts
+        assert sub.parts == (Lit("x*2"),)
+
+    def test_arith_with_dollar_params(self):
+        word = first_word("$(($x*2))")
+        (sub,) = word.parts
+        assert sub.parts == (Param("x"), Lit("*2"))
+
+    def test_cmdsub_with_subshell_not_arith(self):
+        # $( (echo a) ) is a command substitution containing a subshell
+        word = first_word("$( (echo a) )")
+        (sub,) = word.parts
+        assert isinstance(sub, CmdSub)
+
+    def test_unterminated_cmdsub(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("echo $(true")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("echo 'oops")
+        with pytest.raises(ShellSyntaxError):
+            parse('echo "oops')
+
+
+class TestHeredocs:
+    def test_simple_heredoc(self):
+        program = parse("cat <<EOF\nline1\nline2\nEOF\n")
+        cmd = program.items[0].command
+        redirect = cmd.redirects[0]
+        assert redirect.op == "<<"
+        body = redirect.heredoc
+        assert body is not None
+
+    def test_quoted_delimiter_is_literal(self):
+        program = parse("cat <<'EOF'\n$x\nEOF\n")
+        body = program.items[0].command.redirects[0].heredoc
+        assert body.parts == (SingleQuoted("$x\n"),)
+
+    def test_unquoted_delimiter_expands(self):
+        program = parse("cat <<EOF\n$x\nEOF\n")
+        body = program.items[0].command.redirects[0].heredoc
+        (dq,) = body.parts
+        assert any(isinstance(p, Param) for p in dq.parts)
+
+    def test_dash_strips_tabs(self):
+        program = parse("cat <<-EOF\n\tindented\n\tEOF\n")
+        body = program.items[0].command.redirects[0].heredoc
+        assert "indented" in str(body)
+        assert "\t" not in body.parts[0].parts[0].text
+
+    def test_heredoc_on_pipeline(self):
+        program = parse("cat <<EOF | wc -l\na\nb\nEOF\n")
+        pipeline = program.items[0].command
+        assert pipeline.commands[0].redirects[0].heredoc is not None
+
+    def test_missing_delimiter(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("cat <<EOF\nno end\n")
+
+
+class TestComments:
+    def test_comment_skipped(self):
+        program = parse("echo a # not this\necho b")
+        assert len(program.items) == 2
+
+    def test_hash_inside_word_is_literal(self):
+        cmd = parse_one("echo a#b")
+        assert cmd.words[1].parts == (Lit("a#b"),)

@@ -1,0 +1,100 @@
+"""Purity analysis tests — the soundness oracle for Jash's early
+expansion (the Smoosh-backed reasoning of §3.2)."""
+
+import pytest
+
+from repro.annotations import DEFAULT_LIBRARY
+from repro.parser import parse_one
+from repro.semantics.purity import check_word, check_words
+
+
+def words_of(src: str):
+    return parse_one(src).words
+
+
+def first_arg(src: str):
+    return words_of(src)[1]
+
+
+class TestPureWords:
+    @pytest.mark.parametrize("src", [
+        "x literal",
+        "x 'single quoted'",
+        'x "double $var quoted"',
+        "x $var",
+        "x ${var}",
+        "x ${var:-default}",
+        "x ${var-default}",
+        "x ${var:+alt}",
+        "x ${#var}",
+        "x ${var%.txt}",
+        "x ${var##*/}",
+        "x $((1+2*3))",
+        "x $((y*2))",
+        "x pre${var}post",
+        "x ~/file",
+        "x *.glob",
+    ])
+    def test_pure(self, src):
+        report = check_word(first_arg(src))
+        assert report.pure, report.reasons
+
+
+class TestImpureWords:
+    @pytest.mark.parametrize("src,reason_fragment", [
+        ("x ${var:=assign}", "assigns"),
+        ("x ${var=assign}", "assigns"),
+        ("x ${var:?boom}", "abort"),
+        ("x ${var?boom}", "abort"),
+        ("x $(echo hi)", "command substitution"),
+        ("x `date`", "command substitution"),
+        ("x $((y=1))", "assign"),
+        ("x $((y+=1))", "assign"),
+        ('x "quoted $(cmd)"', "command substitution"),
+        ("x ${var:-$(cmd)}", "command substitution"),
+    ])
+    def test_impure(self, src, reason_fragment):
+        report = check_word(first_arg(src))
+        assert not report.pure
+        assert any(reason_fragment in r for r in report.reasons), report.reasons
+
+
+class TestNesting:
+    def test_impurity_in_operand_detected(self):
+        report = check_word(first_arg("x ${a:-${b:=oops}}"))
+        assert not report.pure
+
+    def test_check_words_aggregates(self):
+        report = check_words(words_of("cmd pure ${bad:=1}"))
+        assert not report.pure
+        assert len(report.reasons) == 1
+
+
+class TestPureCmdsubAllowance:
+    PURE = DEFAULT_LIBRARY.pure_read_only_commands()
+
+    def test_read_only_cmdsub_allowed_when_enabled(self):
+        word = first_arg("x $(wc -l f)")
+        assert not check_word(word).pure
+        assert check_word(word, allow_pure_cmdsub=True,
+                          pure_commands=self.PURE).pure
+
+    def test_side_effecting_cmdsub_still_rejected(self):
+        word = first_arg("x $(rm -rf /)")
+        assert not check_word(word, allow_pure_cmdsub=True,
+                              pure_commands=self.PURE).pure
+
+    def test_cmdsub_with_redirect_rejected(self):
+        word = first_arg("x $(sort f > g)")
+        assert not check_word(word, allow_pure_cmdsub=True,
+                              pure_commands=self.PURE).pure
+
+    def test_cmdsub_with_dynamic_command_rejected(self):
+        word = first_arg("x $($cmd f)")
+        assert not check_word(word, allow_pure_cmdsub=True,
+                              pure_commands=self.PURE).pure
+
+    def test_nested_pure_cmdsub(self):
+        word = first_arg("x $(grep -c a f)")
+        assert check_word(word, allow_pure_cmdsub=True,
+                          pure_commands=self.PURE).pure
