@@ -28,10 +28,12 @@ Quickstart::
 """
 
 from .compiler import PashConfig, PashOptimizer
+from .distributed.retry import RetryPolicy
 from .incremental import IncrementalOptimizer
 from .jit import JashConfig, JashOptimizer
 from .jit.composite import CompositeOptimizer
 from .shell import RunResult, Shell, run_script
+from .vos.faults import FaultPlan, FaultSpec
 from .vos.machines import (
     MachineSpec,
     PROFILES,
@@ -50,5 +52,6 @@ __all__ = [
     "JashOptimizer", "CompositeOptimizer", "RunResult", "Shell",
     "run_script", "MachineSpec", "PROFILES", "aws_c5_2xlarge_gp2",
     "aws_c5_2xlarge_gp3", "laptop", "profile", "raspberry_pi",
-    "supercomputer_node", "__version__",
+    "supercomputer_node", "FaultPlan", "FaultSpec", "RetryPolicy",
+    "__version__",
 ]

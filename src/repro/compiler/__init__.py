@@ -8,11 +8,17 @@ from .optimizer import Decision, OptimizerConfig, ResourceAwareOptimizer
 from .parallel import Plan, baseline_plan, find_parallel_run, parallelize
 from .pash_aot import AotEvent, PashConfig, PashOptimizer
 from .runtime import execute_graph
+from .transactional import (
+    DEFAULT_REGION_POLICY,
+    RecoveryReport,
+    execute_plan_transactional,
+)
 
 __all__ = [
     "CostEstimate", "DiskProbe", "Probe", "estimate_baseline",
     "estimate_parallel", "execute_plan", "fs_file_sizes", "Decision",
     "OptimizerConfig", "ResourceAwareOptimizer", "Plan", "baseline_plan",
     "find_parallel_run", "parallelize", "AotEvent", "PashConfig",
-    "PashOptimizer", "execute_graph",
+    "PashOptimizer", "execute_graph", "DEFAULT_REGION_POLICY",
+    "RecoveryReport", "execute_plan_transactional",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..vos.errors import VosError
+from ..vos.faults import FAULT_STATUSES
 from ..vos.process import Process
 from .parallel import Plan
 from .runtime import execute_graph
@@ -26,6 +27,10 @@ def execute_plan(plan: Plan, proc: Process, cwd: str = "/"):
             stderr_handle=stderr_handle,
             cwd=cwd,
         )
+        if status in FAULT_STATUSES:
+            # a faulted phase's chunk files are incomplete; running the
+            # next phase over them would "succeed" with missing data
+            break
     for path in plan.temp_files:
         try:
             proc.fs.unlink(proc.resolve(path))

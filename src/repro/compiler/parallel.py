@@ -256,8 +256,12 @@ def parallelize(region: Region, width: int, mode: str,
             prev = out
         if eager:
             buffered = dfg.new_stream()
-            dfg.add_node(EAGER, params={"mode": "disk",
-                                        "tmp_path": fresh_tmp_path(tmp_prefix + ".eager")},
+            eager_tmp = fresh_tmp_path(tmp_prefix + ".eager")
+            # registered for cleanup: the eager body normally unlinks its
+            # spool itself, but not if the consumer closes early or the
+            # branch is killed by a fault
+            plan.temp_files.append(eager_tmp)
+            dfg.add_node(EAGER, params={"mode": "disk", "tmp_path": eager_tmp},
                          inputs=(prev,), outputs=(buffered,))
             prev = buffered
         branch_outputs.append(prev)

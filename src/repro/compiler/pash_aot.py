@@ -21,18 +21,26 @@ from typing import Optional
 from ..annotations.library import DEFAULT_LIBRARY
 from ..annotations.model import SpecLibrary
 from ..dfg.from_ast import extract_region
+from ..distributed.retry import RetryPolicy
 from ..parser.ast_nodes import Command, Pipeline, SimpleCommand
 from ..parser.unparse import unparse
 from .driver import execute_plan, fs_file_sizes
 from .parallel import parallelize
+from .transactional import (
+    DEFAULT_REGION_POLICY,
+    RecoveryReport,
+    execute_plan_transactional,
+)
 
 
 @dataclass
 class AotEvent:
     node_text: str
-    decision: str  # "optimized" | "skipped"
+    decision: str  # "optimized" | "degraded" | "skipped" | "interpreted"
     reason: str
     plan_description: str = ""
+    #: staged attempts rolled back on a suspected fault (transactional)
+    fault_failures: int = 0
 
 
 @dataclass
@@ -41,6 +49,12 @@ class PashConfig:
     #: split modes in preference order; materialize first (batch PaSh)
     modes: tuple[str, ...] = ("materialize", "rr")
     library: SpecLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
+    #: execute plans transactionally and fall back to interpretation when
+    #: retries are exhausted ("PaSh-AOT-with-fallback").  Unlike Jash,
+    #: the resource-oblivious AOT compiler has no width ladder: it goes
+    #: straight from its fixed width to the interpreter.
+    transactional: bool = False
+    retry: RetryPolicy = DEFAULT_REGION_POLICY
 
 
 class PashOptimizer:
@@ -115,13 +129,34 @@ class PashOptimizer:
             self.events.append(AotEvent(text, "skipped",
                                         "no applicable split mode"))
             return None
-        status = yield from execute_plan(plan, proc, cwd=interp.state.cwd)
-        self.events.append(AotEvent(text, "optimized",
-                                    f"fixed width {self.config.width}",
-                                    plan.description))
+        if not self.config.transactional:
+            status = yield from execute_plan(plan, proc, cwd=interp.state.cwd)
+            self.events.append(AotEvent(text, "optimized",
+                                        f"fixed width {self.config.width}",
+                                        plan.description))
+            return status
+        report = RecoveryReport()
+        status = yield from execute_plan_transactional(
+            plan, proc, cwd=interp.state.cwd,
+            policy=self.config.retry, report=report)
+        if report.gave_up:
+            self.events.append(AotEvent(
+                text, "interpreted",
+                f"fault fallback to interpreter after {report.attempts} "
+                "attempts", plan.description,
+                fault_failures=report.fault_failures))
+            return None
+        self.events.append(AotEvent(
+            text,
+            "degraded" if report.fault_failures else "optimized",
+            f"fixed width {self.config.width}"
+            + (f", {report.fault_failures} fault-suspected attempts "
+               "rolled back" if report.fault_failures else ""),
+            plan.description, fault_failures=report.fault_failures))
         return status
 
     # convenience for benchmarks
     @property
     def optimized_count(self) -> int:
-        return sum(1 for e in self.events if e.decision == "optimized")
+        return sum(1 for e in self.events
+                   if e.decision in ("optimized", "degraded"))

@@ -24,6 +24,7 @@ from ..dfg.graph import (
     DataflowGraph,
 )
 from ..vos.errors import VosError
+from ..vos.faults import FAULT_STATUSES
 from ..vos.handles import Handle, NullHandle, make_pipe
 from ..vos.process import CHUNK, Process
 
@@ -372,8 +373,14 @@ def execute_graph(dfg: DataflowGraph, proc: Process,
         if st not in (0, 141):
             status = st
     # parallel copies of one stage succeed if any copy succeeded — a chunk
-    # with no grep matches exits 1 without the whole stage having failed
+    # with no grep matches exits 1 without the whole stage having failed.
+    # A killed/faulted copy (137/74) is different: that copy's share of the
+    # data is simply missing, so the plan must fail even if siblings ran.
     for sts in group_statuses.values():
+        faulted = [s for s in sts if s in FAULT_STATUSES]
+        if faulted:
+            status = faulted[-1]
+            continue
         good = [s for s in sts if s in (0, 141)]
         if not good:
             worst = max(sts)

@@ -1,0 +1,206 @@
+"""Transactional execution of optimized dataflow plans (§4 "fault
+tolerant").
+
+The purity gate already guarantees an optimized region is
+*re-executable*: it reads files and stdin, writes stdout (or one
+output file), and touches nothing else.  That makes recovery from an
+injected fault a matter of making the region's single visible effect
+atomic:
+
+* **pipe/stdout sink** — the region writes into a staging
+  :class:`~repro.vos.handles.Collector`; the collected bytes are
+  forwarded to the real stdout only after every node finished without
+  a fault.  A rolled-back attempt therefore emitted nothing.
+* **file sink** (``... > out``) — the sink stream is redirected to
+  ``out.staged`` and atomically renamed over ``out`` on commit; a
+  rolled-back attempt leaves ``out`` untouched.
+
+A failure is *fault-suspected* when the plan's status is 74
+(``EX_IOERR``, an injected disk/pipe fault) or 137 (a crash), or when
+the kernel's :class:`~repro.vos.faults.FaultPlan` recorded new firings
+during a non-zero attempt.  Suspected attempts are rolled back (staged
+output and temp chunk files unlinked, region stdin rewound) and
+re-executed under a :class:`~repro.distributed.retry.RetryPolicy` —
+the same policy vocabulary the distributed shell uses.
+
+Staging is only engaged when a fault plan is installed on the kernel;
+without one the executor is byte-for-byte the plain
+:func:`~repro.compiler.driver.execute_plan` (so fault-free workloads
+pay nothing, and nested regions keep streaming into their consumers).
+stderr is never staged: diagnostics stream through even from attempts
+that are later rolled back, like a real shell re-running a job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..distributed.retry import RetryPolicy
+from ..vos.errors import VosError
+from ..vos.faults import FAULT_STATUSES
+from ..vos.fs import normalize
+from ..vos.handles import Collector
+from ..vos.process import Process
+from .driver import execute_plan
+from .parallel import Plan
+from .runtime import execute_graph
+
+#: default policy for region re-execution: two retries, no virtual-time
+#: backoff (the vOS clock should not drift for fault-free comparisons)
+DEFAULT_REGION_POLICY = RetryPolicy(max_retries=2)
+
+STAGED_SUFFIX = ".staged"
+
+
+@dataclass
+class RecoveryReport:
+    """What happened while executing one plan transactionally."""
+
+    attempts: int = 0
+    fault_failures: int = 0
+    retries: int = 0
+    gave_up: bool = False
+    last_status: int = 0
+
+    def merge(self, other: "RecoveryReport") -> None:
+        self.attempts += other.attempts
+        self.fault_failures += other.fault_failures
+        self.retries += other.retries
+        self.gave_up = other.gave_up
+        self.last_status = other.last_status
+
+
+def plan_reads_stdin(plan: Plan) -> bool:
+    """Does any phase consume the region's (non-file) stdin stream?"""
+    for phase in plan.phases:
+        sid = phase.source
+        if sid is None:
+            continue
+        stream = phase.streams.get(sid)
+        if stream is None or stream.is_file:
+            continue
+        if phase.producer_of(sid) is None and phase.consumers_of(sid):
+            return True
+    return False
+
+
+def _sink_stream(plan: Plan):
+    """The final phase's sink stream object (or None)."""
+    final = plan.phases[-1]
+    if final.sink is None:
+        return None
+    return final.streams.get(final.sink)
+
+
+def _run_phases(plan: Plan, proc: Process, cwd: str, staging: Optional[Collector]):
+    """Run phases in order, stopping at the first fault-status phase so
+    later phases don't chew on a faulted phase's partial chunk files."""
+    stdin_handle = proc.fds.get(0)
+    stdout_handle = staging if staging is not None else proc.fds.get(1)
+    stderr_handle = proc.fds.get(2)
+    status = 0
+    for phase in plan.phases:
+        status = yield from execute_graph(
+            phase, proc,
+            stdin_handle=stdin_handle,
+            stdout_handle=stdout_handle,
+            stderr_handle=stderr_handle,
+            cwd=cwd,
+        )
+        if status in FAULT_STATUSES:
+            break
+    return status
+
+
+def _unlink_quiet(proc: Process, path: str, cwd: str) -> None:
+    try:
+        proc.fs.unlink(normalize(path, cwd))
+    except VosError:
+        pass
+
+
+def _rollback(proc: Process, plan: Plan, staged_path: Optional[str], cwd: str) -> None:
+    for path in plan.temp_files:
+        _unlink_quiet(proc, path, cwd)
+    if staged_path is not None:
+        _unlink_quiet(proc, staged_path, cwd)
+
+
+def _commit(proc: Process, staging: Optional[Collector],
+            staged_path: Optional[str], sink_path: Optional[str], cwd: str):
+    if staged_path is not None:
+        resolved = normalize(staged_path, cwd)
+        if proc.fs.is_file(resolved):
+            proc.fs.rename(resolved, normalize(sink_path, cwd))
+        return
+    if staging is not None:
+        data = staging.getvalue()
+        if data:
+            # a BrokenPipe here (downstream already gone) propagates and
+            # kills the shell process with 141 — interpreter parity
+            yield from proc.write(1, data)
+
+
+def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
+                               policy: Optional[RetryPolicy] = None,
+                               report: Optional[RecoveryReport] = None):
+    """Run ``plan`` with staged output and fault retry.
+
+    A vOS sub-generator (drive with ``yield from``).  Returns the exit
+    status of the last attempt; ``report.gave_up`` tells the caller
+    (Jash's degradation ladder, PaSh's fallback) that the retry budget
+    is exhausted and the plan is still faulting.
+    """
+    policy = policy or DEFAULT_REGION_POLICY
+    report = report if report is not None else RecoveryReport()
+    faults = getattr(proc.kernel, "faults", None)
+    if faults is None:
+        status = yield from execute_plan(plan, proc, cwd=cwd)
+        report.attempts += 1
+        report.last_status = status
+        return status
+
+    sink_stream = _sink_stream(plan)
+    sink_path = sink_stream.path if sink_stream is not None and sink_stream.is_file else None
+    staged_path = sink_path + STAGED_SUFFIX if sink_path is not None else None
+
+    stdin_handle = proc.fds.get(0)
+    uses_stdin = plan_reads_stdin(plan)
+    stdin_offset = getattr(stdin_handle, "offset", None)
+    # a pipe-fed region cannot be replayed: the bytes are gone
+    retryable = (not uses_stdin) or (stdin_offset is not None)
+
+    retry_no = 0
+    while True:
+        report.attempts += 1
+        mark = faults.fired
+        staging: Optional[Collector] = None
+        if sink_path is not None:
+            sink_stream.path = staged_path
+        else:
+            staging = Collector()
+        try:
+            status = yield from _run_phases(plan, proc, cwd, staging)
+        finally:
+            if sink_path is not None:
+                sink_stream.path = sink_path
+        report.last_status = status
+        suspected = status in FAULT_STATUSES or (status != 0 and faults.fired > mark)
+        if not suspected:
+            yield from _commit(proc, staging, staged_path, sink_path, cwd)
+            for path in plan.temp_files:
+                _unlink_quiet(proc, path, cwd)
+            return status
+        report.fault_failures += 1
+        _rollback(proc, plan, staged_path, cwd)
+        if uses_stdin and stdin_offset is not None:
+            stdin_handle.offset = stdin_offset
+        retry_no += 1
+        if not retryable or not policy.should_retry(retry_no):
+            report.gave_up = True
+            return status
+        report.retries += 1
+        delay = policy.delay(retry_no)
+        if delay > 0:
+            yield from proc.sleep(delay)

@@ -25,10 +25,12 @@ from ..commands.base import PROC_STARTUP, lookup
 from ..dfg.from_ast import make_stage
 from ..parser import parse_one
 from ..parser.ast_nodes import Pipeline, SimpleCommand
+from ..vos.faults import FAULT_STATUSES
 from ..vos.handles import Collector, NullHandle, StringSource, make_pipe
 from ..vos.process import CHUNK, Process
 from .cluster import Cluster
 from .placement import Placement, PlacementError, central, data_aware
+from .retry import RetryPolicy, policy_from_max_retries
 
 
 @dataclass
@@ -97,13 +99,21 @@ class DistributedShell:
             strategy: str = "data-aware",
             selectivity: float = 1.0,
             max_retries: int = 1,
+            retry: Optional[RetryPolicy] = None,
             fail: Optional[dict[str, float]] = None) -> DistributedResult:
         """Execute the chain over ``paths`` across the cluster.
 
-        ``fail`` maps node names to virtual times at which they crash
-        (fault injection for the recovery experiments).
+        ``retry`` is the :class:`RetryPolicy` governing failed branches
+        (backoff delays, retry budget, optional per-attempt timeout
+        watchdog); ``max_retries`` is the legacy shorthand for
+        ``RetryPolicy(max_retries=N)``.  ``fail`` maps node names to
+        virtual times at which they crash (fault injection for the
+        recovery experiments); injected vOS faults (a ``FaultPlan`` on
+        the cluster kernel) are detected the same way, via the branch
+        exit statuses 137 (crash) and 74 (injected I/O error).
         """
         stages, (agg_kind, agg_argv) = self.parse_chain(pipeline_text)
+        policy = retry if retry is not None else policy_from_max_retries(max_retries)
         cluster = self.cluster
         kernel = cluster.kernel
         if strategy == "central":
@@ -132,35 +142,43 @@ class DistributedShell:
                 branch = yield from shell._spawn_branch(
                     proc, stages, path, node_name
                 )
+                yield from shell._arm_watchdog(proc, branch[0], policy)
                 pending.append((path, node_name) + branch)
             attempt = 0
             while pending:
-                failed: list[str] = []
+                failed: list[tuple[str, str]] = []
                 for path, node_name, pids, collector in pending:
                     ok = True
                     for pid in pids:
                         st = yield from proc.wait(pid)
-                        if st == 137:
+                        if st in FAULT_STATUSES:
                             ok = False
                     if ok:
                         staged[path] = collector
                     else:
-                        failed.append(path)
+                        failed.append((path, node_name))
                 pending = []
                 if failed:
-                    if attempt >= max_retries:
-                        return 1
                     attempt += 1
+                    if not policy.should_retry(attempt):
+                        return 1
+                    delay = policy.delay(attempt)
+                    if delay > 0:
+                        yield from proc.sleep(delay)
                     retries_box["count"] += len(failed)
-                    for path in failed:
+                    for path, bad_node in failed:
                         replicas = cluster.locate(path)
                         if not replicas:
                             return 1
-                        node_name = (self.head if self.head in replicas
-                                     else replicas[0])
+                        # prefer a replica that is not the node the branch
+                        # just failed on (it may still be faulting)
+                        others = [r for r in replicas if r != bad_node]
+                        pool = others or replicas
+                        node_name = self.head if self.head in pool else pool[0]
                         branch = yield from shell._spawn_branch(
                             proc, stages, path, node_name
                         )
+                        yield from shell._arm_watchdog(proc, branch[0], policy)
                         pending.append((path, node_name) + branch)
             status = yield from shell._merge(proc, staged, paths,
                                              agg_kind, agg_argv, out)
@@ -177,6 +195,31 @@ class DistributedShell:
             retries=retries_box["count"],
             placement=placement,
         )
+
+    # -- watchdog ------------------------------------------------------------------
+
+    def _arm_watchdog(self, proc: Process, pids: list[int], policy: RetryPolicy):
+        """When the policy sets a timeout, spawn a watchdog that kills
+        the branch's processes if they are still running after
+        ``timeout_s`` virtual seconds — a stalled branch (e.g. a disk
+        brown-out) then surfaces as status 137 and is retried like any
+        other failure."""
+        if policy.timeout_s is None:
+            return
+            yield  # pragma: no cover - keep generator shape
+        kernel = self.cluster.kernel
+
+        def watchdog(wproc: Process, pids=tuple(pids),
+                     timeout=policy.timeout_s):
+            yield from wproc.sleep(timeout)
+            from ..vos.process import DONE
+            for pid in pids:
+                victim = kernel.processes.get(pid)
+                if victim is not None and victim.state != DONE:
+                    kernel.kill_process(victim)
+            return 0
+
+        yield from proc.spawn(watchdog, name="watchdog")
 
     # -- branch construction -------------------------------------------------------
 

@@ -1,0 +1,65 @@
+"""Retry / backoff / timeout policies (§4 "fault tolerant").
+
+One policy vocabulary shared by every recovery layer: the distributed
+shell re-runs failed per-file branches under a :class:`RetryPolicy`,
+and the transactional region executor
+(:mod:`repro.compiler.transactional`) re-runs rolled-back dataflow
+plans under the same object.  This replaces dshell's ad-hoc attempt
+counting.
+
+Delays are *virtual* seconds (slept on the vOS clock) and default to
+zero so fault-free timings are unchanged; backoff is exponential with
+a cap and optional deterministic jitter (seeded, so fault schedules
+stay reproducible).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) to re-execute failed work.
+
+    ``max_retries`` counts *re*-executions: 2 means up to three total
+    attempts.  ``timeout_s`` arms a watchdog over each attempt where
+    the caller supports one (dshell branches); ``None`` disables it.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.0
+    backoff: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.0  # fraction of the delay, drawn deterministically
+    seed: int = 0
+    timeout_s: Optional[float] = None
+
+    def should_retry(self, retry_index: int) -> bool:
+        """May we start re-execution number ``retry_index`` (1-based)?"""
+        return 1 <= retry_index <= self.max_retries
+
+    def delay(self, retry_index: int) -> float:
+        """Virtual seconds to back off before re-execution ``retry_index``."""
+        if self.base_delay_s <= 0.0 or retry_index < 1:
+            return 0.0
+        d = min(self.max_delay_s,
+                self.base_delay_s * self.backoff ** (retry_index - 1))
+        if self.jitter > 0.0:
+            rng = random.Random(self.seed * 1_000_003 + retry_index)
+            d *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, d)
+
+    def attempts(self) -> int:
+        """Total executions allowed (first try + retries)."""
+        return 1 + max(0, self.max_retries)
+
+
+NO_RETRY = RetryPolicy(max_retries=0)
+
+
+def policy_from_max_retries(max_retries: int) -> RetryPolicy:
+    """Adapter for the legacy ``max_retries=N`` keyword arguments."""
+    return RetryPolicy(max_retries=max(0, max_retries))

@@ -31,6 +31,13 @@ from ..annotations.library import DEFAULT_LIBRARY
 from ..annotations.model import SpecLibrary
 from ..compiler.driver import execute_plan, fs_file_sizes
 from ..compiler.optimizer import Decision, OptimizerConfig, ResourceAwareOptimizer
+from ..compiler.parallel import parallelize
+from ..compiler.transactional import (
+    DEFAULT_REGION_POLICY,
+    RecoveryReport,
+    execute_plan_transactional,
+)
+from ..distributed.retry import RetryPolicy
 from ..parser.ast_nodes import Command
 from ..parser.unparse import unparse
 from .runtime_info import measure_input, probe_machine, region_input_files
@@ -39,12 +46,16 @@ from .runtime_info import measure_input, probe_machine, region_input_files
 @dataclass
 class JitEvent:
     node_text: str
-    decision: str  # "optimized" | "interpreted"
+    decision: str  # "optimized" | "degraded" | "interpreted"
     reason: str
     plan_description: str = ""
     estimate_s: float = 0.0
     baseline_s: float = 0.0
     compile_overhead_s: float = 0.0
+    #: fault-suspected attempts rolled back while executing this node
+    fault_failures: int = 0
+    #: the degradation trail under faults, e.g. "8 -> 4 -> interpreter"
+    degraded: str = ""
 
 
 @dataclass
@@ -61,6 +72,12 @@ class JashConfig:
     compile_cost_s: float = 0.0008
     #: trust read-only command substitutions during purity analysis
     allow_pure_cmdsub: bool = False
+    #: execute plans transactionally (staged output, rollback + retry on
+    #: injected faults, width degradation).  A no-op unless a FaultPlan
+    #: is installed on the kernel.
+    transactional: bool = True
+    #: per-width retry policy for transactional execution
+    retry: RetryPolicy = DEFAULT_REGION_POLICY
 
 
 class JashOptimizer:
@@ -127,14 +144,70 @@ class JashOptimizer:
             return None
 
         # 6. execute the dataflow plan
-        status = yield from execute_plan(decision.plan, proc,
-                                         cwd=interp.state.cwd)
+        if not self.config.transactional:
+            status = yield from execute_plan(decision.plan, proc,
+                                             cwd=interp.state.cwd)
+            self.events.append(JitEvent(
+                text, "optimized", decision.reason,
+                decision.plan.description,
+                estimate_s=decision.estimate.seconds,
+                baseline_s=decision.baseline.seconds,
+                compile_overhead_s=self.config.compile_cost_s,
+            ))
+            return status
+
+        # transactional execution with graceful degradation: retry the
+        # plan under the retry policy; if it keeps faulting, rebuild at
+        # half the width; at width < 2, return to interpretation (sound:
+        # the purity gate admitted the region, and every failed attempt
+        # was rolled back)
+        report = RecoveryReport()
+        plan = decision.plan
+        width = plan.width
+        widths_tried = [width]
+        while True:
+            rung = RecoveryReport()
+            status = yield from execute_plan_transactional(
+                plan, proc, cwd=interp.state.cwd,
+                policy=self.config.retry, report=rung)
+            report.merge(rung)
+            if not rung.gave_up:
+                break
+            next_plan = None
+            next_width = width // 2
+            while next_width >= 2 and next_plan is None:
+                next_plan = parallelize(region, next_width, plan.mode,
+                                        file_sizes=file_sizes,
+                                        eager=plan.eager)
+                if next_plan is None:
+                    next_width //= 2
+            if next_plan is None:
+                trail = " -> ".join(str(w) for w in widths_tried)
+                self.events.append(JitEvent(
+                    text, "interpreted",
+                    f"degraded to interpreter after {report.fault_failures} "
+                    f"fault-suspected attempts",
+                    baseline_s=decision.baseline.seconds,
+                    fault_failures=report.fault_failures,
+                    degraded=f"{trail} -> interpreter",
+                ))
+                return None
+            plan = next_plan
+            width = next_width
+            widths_tried.append(width)
+
+        degraded = (" -> ".join(str(w) for w in widths_tried)
+                    if len(widths_tried) > 1 else "")
         self.events.append(JitEvent(
-            text, "optimized", decision.reason,
-            decision.plan.description,
+            text,
+            "degraded" if report.fault_failures else "optimized",
+            decision.reason,
+            plan.description,
             estimate_s=decision.estimate.seconds,
             baseline_s=decision.baseline.seconds,
             compile_overhead_s=self.config.compile_cost_s,
+            fault_failures=report.fault_failures,
+            degraded=degraded,
         ))
         return status
 
@@ -148,7 +221,13 @@ class JashOptimizer:
 
     @property
     def optimized_count(self) -> int:
-        return sum(1 for e in self.events if e.decision == "optimized")
+        return sum(1 for e in self.events
+                   if e.decision in ("optimized", "degraded"))
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for e in self.events if e.decision == "degraded"
+                   or (e.decision == "interpreted" and e.degraded))
 
     def report(self) -> str:
         lines = []
@@ -157,4 +236,7 @@ class JashOptimizer:
             lines.append(f"              {event.reason}")
             if event.plan_description:
                 lines.append(f"              plan: {event.plan_description}")
+            if event.degraded:
+                lines.append(f"              degraded: {event.degraded} "
+                             f"({event.fault_failures} faulted attempts)")
         return "\n".join(lines)

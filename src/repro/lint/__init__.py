@@ -2,10 +2,11 @@
 detection, spec-driven command explanation, and the shell tutor."""
 
 from .checks import Diagnostic, lint
-from .explain import explain, explain_command
+from .explain import CHECK_EXPLANATIONS, explain, explain_check, explain_command
 from .misuse import Finding, MisuseConfig, MisuseGuard
 from .tutor import StatementAdvice, TutorReport, tutor
 
-__all__ = ["Diagnostic", "lint", "explain", "explain_command",
+__all__ = ["Diagnostic", "lint", "CHECK_EXPLANATIONS", "explain",
+           "explain_check", "explain_command",
            "Finding", "MisuseConfig", "MisuseGuard",
            "StatementAdvice", "TutorReport", "tutor"]

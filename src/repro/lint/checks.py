@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from ..annotations.library import DEFAULT_LIBRARY
 from ..parser import parse
 from ..parser.ast_nodes import (
     AndOr,
@@ -19,11 +20,13 @@ from ..parser.ast_nodes import (
     CommandList,
     DoubleQuoted,
     For,
+    If,
     Lit,
     Param,
     Pipeline,
     Redirect,
     SimpleCommand,
+    While,
     Word,
     walk,
 )
@@ -257,6 +260,85 @@ def check_var_assigned_spaces(program: Command) -> Iterator[Diagnostic]:
                 f"`{w0.literal_value()} = ...` runs the command "
                 f"{w0.literal_value()!r}; remove the spaces to assign",
             )
+
+
+def _literal_argv(node: Command) -> Optional[list[str]]:
+    if not isinstance(node, SimpleCommand) or not node.words:
+        return None
+    if not all(w.is_literal() for w in node.words):
+        return None
+    return [w.literal_value() for w in node.words]
+
+
+def _sets_errexit_or_pipefail(program: Command) -> bool:
+    """Does the script ever run ``set -e`` / ``set -o pipefail`` (in any
+    combined-flag spelling)?"""
+    for node in walk(program):
+        argv = _literal_argv(node)
+        if not argv or argv[0] != "set":
+            continue
+        for i, arg in enumerate(argv[1:], start=1):
+            if arg.startswith("-") and arg != "-" and "e" in arg[1:]:
+                return True
+            if arg == "-o" and i + 1 < len(argv) and argv[i + 1] == "pipefail":
+                return True
+    return False
+
+
+def _status_checked_pipelines(program: Command) -> set[int]:
+    """ids of Pipeline nodes whose exit status the script observes:
+    conditions of if/while/until, either side of && / ||, and ``!``."""
+    checked: set[int] = set()
+
+    def mark(sub: Command) -> None:
+        for node in walk(sub):
+            if isinstance(node, Pipeline):
+                checked.add(id(node))
+
+    for node in walk(program):
+        if isinstance(node, If):
+            mark(node.cond)
+            for cond, _body in node.elifs:
+                mark(cond)
+        elif isinstance(node, While):
+            mark(node.cond)
+        elif isinstance(node, AndOr):
+            mark(node.left)
+        elif isinstance(node, Pipeline) and node.negated:
+            checked.add(id(node))
+    return checked
+
+
+@check
+def check_unchecked_failure(program: Command) -> Iterator[Diagnostic]:
+    """JS2250: a producer stage's failure vanishes — the pipeline's
+    status is the last stage's, and nothing observes the rest.  A cat
+    hitting EIO mid-pipe then looks exactly like a short input (the
+    silent-truncation failure mode the fault-injection layer exposes);
+    ``set -o pipefail`` or ``set -e`` makes it loud."""
+    if _sets_errexit_or_pipefail(program):
+        return
+    checked = _status_checked_pipelines(program)
+    for node in walk(program):
+        if not isinstance(node, Pipeline) or len(node.commands) < 2:
+            continue
+        if id(node) in checked:
+            continue
+        for cmd in node.commands[:-1]:
+            argv = _literal_argv(cmd)
+            if argv is None:
+                continue
+            spec = DEFAULT_LIBRARY.classify(argv[0], argv[1:])
+            if spec is None or not spec.input_operands:
+                continue  # stdin-fed stages fail with their feeder
+            yield Diagnostic(
+                "JS2250", "info",
+                f"{argv[0]} reads files and can fail, but this pipeline "
+                f"discards its exit status; set -o pipefail (or set -e) "
+                f"so a producer failure is not mistaken for short input",
+                " ".join(argv),
+            )
+            break  # one diagnostic per pipeline
 
 
 def lint(source: str) -> list[Diagnostic]:

@@ -11,6 +11,36 @@ from ..annotations.library import DEFAULT_LIBRARY
 from ..annotations.model import ParClass, SpecLibrary
 from ..parser import parse_one
 from ..parser.ast_nodes import Pipeline, SimpleCommand
+from .checks import DIAGNOSTIC_CHECKS
+
+#: long-form rationale for lint codes, keyed by code.  Codes without an
+#: entry fall back to the check function's docstring.
+CHECK_EXPLANATIONS = {
+    "JS2250": (
+        "JS2250 unchecked pipeline failure.  POSIX sets a pipeline's "
+        "exit status to its *last* stage's status, so when a producer "
+        "stage (a command that reads files, like `cat big | sort`) dies "
+        "on an I/O error, the consumer simply sees early end-of-input "
+        "and exits 0.  The failure is silent: the script continues with "
+        "truncated data.  `set -o pipefail` makes the pipeline report "
+        "the first failing stage; `set -e` then also stops the script. "
+        "The fault-injection layer (repro.vos.faults) demonstrates the "
+        "failure mode: inject a disk-error into the producer and the "
+        "unguarded pipeline still reports success."
+    ),
+}
+
+
+def explain_check(code: str) -> str:
+    """Explain a lint diagnostic code (the tutor's 'why' database)."""
+    text = CHECK_EXPLANATIONS.get(code)
+    if text is not None:
+        return text
+    for fn in DIAGNOSTIC_CHECKS:
+        doc = (fn.__doc__ or "").strip()
+        if doc.startswith(code):
+            return doc
+    return f"{code}: no explanation available"
 
 COMMAND_SUMMARIES = {
     "cat": "concatenate files to standard output",

@@ -22,6 +22,7 @@ from typing import Optional
 from .parser import parse
 from .semantics.interp import Interpreter
 from .semantics.state import ShellState
+from .vos.faults import FaultPlan
 from .vos.handles import Collector, StringSource
 from .vos.kernel import Kernel
 from .vos.machines import MachineSpec, laptop
@@ -55,12 +56,23 @@ class Shell:
     def __init__(self, machine: Optional[MachineSpec] = None,
                  kernel: Optional[Kernel] = None,
                  optimizer=None,
-                 persist_state: bool = False):
+                 persist_state: bool = False,
+                 faults: Optional[FaultPlan] = None):
         self.machine = machine or laptop()
         self.kernel = kernel if kernel is not None else self.machine.make_kernel()
         self.optimizer = optimizer
         self.persist_state = persist_state
+        if faults is not None:
+            self.kernel.faults = faults
         self._state: Optional[ShellState] = None
+
+    @property
+    def faults(self) -> Optional[FaultPlan]:
+        return self.kernel.faults
+
+    @faults.setter
+    def faults(self, plan: Optional[FaultPlan]) -> None:
+        self.kernel.faults = plan
 
     @property
     def fs(self):
@@ -111,9 +123,10 @@ def run_script(script: str, machine: Optional[MachineSpec] = None,
                files: Optional[dict[str, bytes]] = None,
                args: Optional[list[str]] = None,
                env: Optional[dict[str, str]] = None,
-               optimizer=None) -> RunResult:
+               optimizer=None,
+               faults: Optional[FaultPlan] = None) -> RunResult:
     """One-shot helper: build a machine, load ``files``, run ``script``."""
-    shell = Shell(machine, optimizer=optimizer)
+    shell = Shell(machine, optimizer=optimizer, faults=faults)
     for path, data in (files or {}).items():
         shell.fs.write_bytes(path, data)
     return shell.run(script, args=args, env=env)

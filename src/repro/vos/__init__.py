@@ -11,9 +11,20 @@ from .errors import (
     BadFileDescriptor,
     BrokenPipe,
     FileNotFound,
+    InjectedDiskError,
+    InjectedFault,
+    InjectedPipeBreak,
     IsADirectory,
     NotADirectory,
     VosError,
+)
+from .faults import (
+    CRASH_STATUS,
+    EX_IOERR,
+    FAULT_STATUSES,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
 )
 from .fs import FileNode, FileSystem, normalize
 from .handles import (
@@ -54,8 +65,11 @@ from .syscalls import (
 
 __all__ = [
     "Disk", "DiskSpec", "gp2_spec", "gp3_spec",
-    "BadFileDescriptor", "BrokenPipe", "FileNotFound", "IsADirectory",
+    "BadFileDescriptor", "BrokenPipe", "FileNotFound", "InjectedDiskError",
+    "InjectedFault", "InjectedPipeBreak", "IsADirectory",
     "NotADirectory", "VosError",
+    "CRASH_STATUS", "EX_IOERR", "FAULT_STATUSES", "FaultEvent", "FaultPlan",
+    "FaultSpec",
     "FileNode", "FileSystem", "normalize",
     "Collector", "FileHandle", "Handle", "NullHandle", "PipeReader",
     "PipeWriter", "StringSource", "make_pipe",

@@ -74,6 +74,8 @@ class _DiskRequest:
     process: object  # Process to wake with `result` when service completes
     result: object = None
     start: float = 0.0
+    #: service-time multiplier (>1 under an injected disk slowdown)
+    slow: float = 1.0
 
 
 class Disk:
@@ -150,6 +152,6 @@ class Disk:
             self.credits = max(0.0, self.credits - ops)
         self.total_bytes += request.bytes
         self.total_ops += ops
-        duration = max(bw_time, iops_time)
+        duration = max(bw_time, iops_time) * max(1.0, request.slow)
         self.busy_time += duration
         return duration

@@ -31,6 +31,23 @@ class NoSuchProcess(VosError):
     pass
 
 
+class InjectedFault(VosError):
+    """Base class for failures injected by :mod:`repro.vos.faults`.
+
+    Deliberately *not* a subclass of :class:`BrokenPipe`: an injected
+    fault must surface as an I/O error (exit status 74, sysexits
+    ``EX_IOERR``) rather than be masked as a benign SIGPIPE death.
+    """
+
+
+class InjectedDiskError(InjectedFault):
+    """Injected disk I/O failure (EIO analogue)."""
+
+
+class InjectedPipeBreak(InjectedFault):
+    """Injected pipe breakage (the read end 'vanished')."""
+
+
 class ReadOnlyHandle(VosError):
     pass
 

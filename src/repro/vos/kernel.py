@@ -21,7 +21,15 @@ from collections import deque
 from typing import Callable, Optional
 
 from .devices import Disk, DiskSpec, _DiskRequest
-from .errors import BrokenPipe, NoSuchProcess, VosError
+from .errors import (
+    BrokenPipe,
+    InjectedDiskError,
+    InjectedFault,
+    InjectedPipeBreak,
+    NoSuchProcess,
+    VosError,
+)
+from .faults import CRASH, DISK_ERROR, DISK_SLOW, EX_IOERR, PIPE_BREAK
 from .fs import FileSystem, normalize
 from .handles import (
     Collector,
@@ -90,6 +98,8 @@ class Kernel:
         self._net_queue: list = []
         self.trace: Optional[Callable[[str], None]] = None
         self.steps = 0
+        #: optional repro.vos.faults.FaultPlan consulted at dispatch
+        self.faults = None
 
     # -- topology ----------------------------------------------------------------
 
@@ -214,6 +224,8 @@ class Kernel:
             self._exit(proc, stop.value if stop.value is not None else 0)
         except BrokenPipe:
             self._exit(proc, SIGPIPE_STATUS)
+        except InjectedFault as err:
+            self._exit(proc, EX_IOERR, error=f"{type(err).__name__}: {err}")
         except VosError as err:
             self._exit(proc, 1, error=f"{type(err).__name__}: {err}")
         else:
@@ -320,9 +332,33 @@ class Kernel:
 
     # file IO through the disk ------------------------------------------------------
 
+    def _disk_fault(self, proc: Process, handle: FileHandle) -> tuple[bool, float]:
+        """Consult the fault plan before a disk operation touches state.
+        Returns (aborted, slow_factor)."""
+        if self.faults is None:
+            return False, 1.0
+        action = self.faults.on_disk_io(self.now, proc, handle.path)
+        if action is None:
+            return False, 1.0
+        kind, factor = action
+        if kind == DISK_ERROR:
+            self._ready.append(
+                (proc, None, InjectedDiskError(f"{handle.path}: injected EIO"))
+            )
+            return True, 1.0
+        if kind == CRASH:
+            self.kill_process(proc)
+            return True, 1.0
+        if kind == DISK_SLOW:
+            return False, max(1.0, factor)
+        return False, 1.0  # pragma: no cover - defensive
+
     def _file_read(self, proc: Process, handle: FileHandle, nbytes: int) -> None:
         if handle.eof():
             self._ready.append((proc, b"", None))
+            return
+        aborted, slow = self._disk_fault(proc, handle)
+        if aborted:
             return
         handle.note_io()
         data = handle.read_now(nbytes)
@@ -330,9 +366,15 @@ class Kernel:
         if disk is None:
             self._ready.append((proc, data, None))
             return
-        self._disk_submit(disk, _DiskRequest(len(data), disk.ops_for(len(data)), proc, data))
+        self._disk_submit(
+            disk,
+            _DiskRequest(len(data), disk.ops_for(len(data)), proc, data, slow=slow),
+        )
 
     def _file_write(self, proc: Process, handle: FileHandle, data: bytes) -> None:
+        aborted, slow = self._disk_fault(proc, handle)
+        if aborted:
+            return
         handle.note_io()
         try:
             n = handle.write_now(data, self.now)
@@ -343,7 +385,7 @@ class Kernel:
         if disk is None:
             self._ready.append((proc, n, None))
             return
-        self._disk_submit(disk, _DiskRequest(n, disk.ops_for(n), proc, n))
+        self._disk_submit(disk, _DiskRequest(n, disk.ops_for(n), proc, n, slow=slow))
 
     def _disk_submit(self, disk: Disk, request: _DiskRequest) -> None:
         request.start = self.now
@@ -382,6 +424,16 @@ class Kernel:
         if pipe.readers == 0:
             self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
             return
+        if self.faults is not None:
+            kind = self.faults.on_pipe_write(self.now, proc, pipe)
+            if kind == PIPE_BREAK:
+                self._ready.append(
+                    (proc, None, InjectedPipeBreak(f"pipe {pipe.id}: injected break"))
+                )
+                return
+            if kind == CRASH:
+                self.kill_process(proc)
+                return
         accepted = pipe.push(data)
         if accepted:
             self._wake_pipe_readers(pipe)
@@ -520,6 +572,10 @@ class Kernel:
             t = self.network.next_event_time()
             if t is not None:
                 candidates.append(t)
+        if self.faults is not None:
+            t = self.faults.next_timed_crash()
+            if t is not None:
+                candidates.append(max(t, self.now))
         if not candidates:
             return None
         return min(candidates)
@@ -535,5 +591,14 @@ class Kernel:
             _t, _seq, proc, value = heapq.heappop(self._timers)
             if proc.state != DONE:
                 self._ready.append((proc, value, None))
+        if self.faults is not None:
+            for spec in self.faults.due_timed_crashes(self.now + _EPS):
+                victims = [
+                    p for p in self.processes.values()
+                    if p.state != DONE and self.faults.crash_matches(spec, p)
+                ]
+                for victim in victims:
+                    self.faults.record_crash(self.now, victim.name)
+                    self.kill_process(victim)
         if self.network is not None:
             self.network.advance_to(self, self.now)

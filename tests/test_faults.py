@@ -1,0 +1,267 @@
+"""Fault-injection layer tests: FaultSpec/FaultPlan matching, kernel
+dispatch of each fault kind, determinism of seeded schedules, and the
+retry-policy objects shared by the recovery layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, RetryPolicy, Shell, run_script
+from repro.distributed.retry import NO_RETRY, policy_from_max_retries
+from repro.vos.errors import BrokenPipe, InjectedDiskError, InjectedFault, VosError
+from repro.vos.faults import (
+    CRASH_STATUS,
+    EX_IOERR,
+    FAULT_STATUSES,
+    FaultEvent,
+)
+from repro.vos.machines import laptop
+
+from .conftest import fast_machine
+
+
+class _Node:
+    name = "main"
+
+
+class _Proc:
+    """Just enough of a Process for FaultPlan matching."""
+
+    def __init__(self, name: str = "cat", node_name: str = "main"):
+        self.name = name
+        self.node = _Node()
+        self.node.name = node_name
+
+
+class TestValidation:
+    def test_unknown_kind_in_spec(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor-strike", op=1)
+
+    def test_unknown_kind_in_plan(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan(kinds=("disk-error", "gamma-ray"))
+
+    def test_rate_range(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan(rate=1.5)
+
+    def test_statuses(self):
+        assert FAULT_STATUSES == {EX_IOERR, CRASH_STATUS}
+
+    def test_injected_fault_is_not_broken_pipe(self):
+        # a fault must never be mistaken for a benign SIGPIPE
+        assert not issubclass(InjectedFault, BrokenPipe)
+        assert issubclass(InjectedDiskError, VosError)
+
+
+class TestMatching:
+    def test_op_is_one_based_first_op(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", op=1),))
+        assert plan.on_disk_io(0.0, _Proc(), "/f") == ("disk-error", 8.0)
+        assert plan.fired == 1
+
+    def test_op_targets_nth_operation(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", op=3),))
+        proc = _Proc()
+        assert plan.on_disk_io(0.0, proc, "/f") is None
+        assert plan.on_disk_io(0.0, proc, "/f") is None
+        assert plan.on_disk_io(0.0, proc, "/f") == ("disk-error", 8.0)
+
+    def test_at_fires_from_that_time_on(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", at=1.0),))
+        assert plan.on_disk_io(0.5, _Proc(), "/f") is None
+        assert plan.on_disk_io(1.5, _Proc(), "/f") == ("disk-error", 8.0)
+
+    def test_path_prefix_filter(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", at=0.0, path="/data/"),))
+        assert plan.on_disk_io(0.0, _Proc(), "/tmp/x") is None
+        assert plan.on_disk_io(0.0, _Proc(), "/data/x") is not None
+
+    def test_proc_prefix_filter(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", at=0.0, proc="sort"),))
+        assert plan.on_disk_io(0.0, _Proc("cat"), "/f") is None
+        assert plan.on_disk_io(0.0, _Proc("sort"), "/f") is not None
+
+    def test_node_filter(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", at=0.0, node="node2"),))
+        assert plan.on_disk_io(0.0, _Proc(node_name="main"), "/f") is None
+        assert plan.on_disk_io(0.0, _Proc(node_name="node2"), "/f") is not None
+
+    def test_times_bounds_firings(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", at=0.0, times=2),))
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is not None
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is not None
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is None
+        assert plan.fired == 2
+
+    def test_max_faults_budget_spans_sources(self):
+        plan = FaultPlan(rate=1.0, kinds=("disk-error",), max_faults=2)
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is not None
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is not None
+        # budget exhausted: the storm is over
+        for _ in range(10):
+            assert plan.on_disk_io(0.0, _Proc(), "/f") is None
+        assert plan.fired == 2
+
+    def test_pipe_kinds_do_not_fire_on_disk(self):
+        plan = FaultPlan(specs=(FaultSpec("pipe-break", at=0.0),))
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is None
+        assert plan.on_pipe_write(0.0, _Proc(), object()) == "pipe-break"
+
+    def test_rate_draws_are_schedule_independent(self):
+        # the RNG is consumed once per eligible op whether or not a
+        # fault fires, so inserting extra non-faulting ops does not
+        # shift later draws
+        a = FaultPlan(seed=9, rate=0.5, kinds=("disk-error",))
+        b = FaultPlan(seed=9, rate=0.5, kinds=("disk-error",))
+        outcomes_a = [a.on_disk_io(0.0, _Proc(), "/f") for _ in range(20)]
+        outcomes_b = [b.on_disk_io(0.0, _Proc(), "/f") for _ in range(20)]
+        assert outcomes_a == outcomes_b
+
+    def test_reset_and_fork_rewind(self):
+        plan = FaultPlan(seed=3, rate=1.0, kinds=("disk-error",), max_faults=1)
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is not None
+        assert plan.fired == 1
+        clone = plan.fork()
+        assert clone.fired == 0
+        plan.reset()
+        assert plan.fired == 0 and plan.ops == 0
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is not None
+
+    def test_trace_format(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", op=1),))
+        plan.on_disk_io(0.25, _Proc("cat"), "/f")
+        assert plan.trace() == ["0.250000 disk-error cat:/f [spec]"]
+        assert isinstance(plan.log[0], FaultEvent)
+
+
+class TestKernelInjection:
+    """Each fault kind dispatched through a real kernel run."""
+
+    def run(self, script, plan, files=None, machine=None):
+        return run_script(script, machine=machine or fast_machine(),
+                          files=files or {"/f": b"hello\n"}, faults=plan)
+
+    def test_disk_error_kills_reader_with_eio(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", at=0.0, proc="cat"),))
+        result = self.run("cat /f", plan)
+        assert result.status == EX_IOERR
+        assert plan.fired == 1
+
+    def test_disk_error_on_write_leaves_file_unmodified(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", at=0.0, path="/out"),))
+        shell = Shell(fast_machine(), faults=plan)
+        shell.fs.write_bytes("/f", b"hello\n")
+        result = shell.run("cat /f > /out")
+        assert result.status == EX_IOERR
+        # the faulted write must not have mutated the target
+        assert shell.fs.read_bytes("/out") == b""
+
+    def test_disk_slow_stretches_elapsed(self):
+        files = {"/f": b"x" * 500_000}
+        base = self.run("cat /f", None, files, laptop())
+        slow = self.run(
+            "cat /f",
+            FaultPlan(specs=(FaultSpec("disk-slow", at=0.0, times=10**9,
+                                       slow_factor=8.0),)),
+            files, laptop())
+        assert base.status == slow.status == 0
+        assert slow.stdout == base.stdout
+        # only the disk service time scales, so the ratio is well below
+        # the slow factor but clearly above noise
+        assert slow.elapsed > base.elapsed * 1.5
+
+    def test_pipe_break_distinct_from_sigpipe(self):
+        plan = FaultPlan(specs=(FaultSpec("pipe-break", at=0.0, proc="cat"),))
+        result = self.run("set -o pipefail\ncat /f | wc -c", plan)
+        assert result.status == EX_IOERR  # 74, not the benign 141
+
+    def test_crash_on_io_kills_process(self):
+        plan = FaultPlan(specs=(FaultSpec("crash", at=0.0, proc="cat"),))
+        result = self.run("cat /f", plan)
+        assert result.status == CRASH_STATUS
+
+    def test_timed_crash_fires_without_io(self):
+        # the victim does no eligible IO at the crash instant: only the
+        # kernel's event-time sweep can fire this spec
+        files = {"/f": b"y" * 400_000}
+        plan = FaultPlan(specs=(FaultSpec("crash", at=1e-4, proc="sort"),))
+        result = self.run("sort /f", plan, files, laptop())
+        assert result.status == CRASH_STATUS
+        assert plan.fired == 1
+        assert "crash" in plan.trace()[0]
+
+    def test_timed_crash_spares_other_procs(self):
+        plan = FaultPlan(specs=(FaultSpec("crash", at=1e-4, proc="nonesuch"),))
+        files = {"/f": b"y" * 400_000}
+        result = self.run("sort /f", plan, files, laptop())
+        assert result.status == 0
+        assert plan.fired == 0
+
+    def test_rate_faults_are_deterministic(self):
+        files = {"/f": bytes(range(256)) * 2000}
+        probes = []
+        for _ in range(2):
+            plan = FaultPlan(seed=11, rate=0.05,
+                             kinds=("disk-error", "disk-slow", "pipe-break",
+                                    "crash"))
+            result = self.run("cat /f | wc -c", plan, files, laptop())
+            probes.append((result.status, result.stdout, result.elapsed,
+                           plan.trace()))
+        assert probes[0] == probes[1]
+
+    def test_budget_lets_a_retry_succeed(self):
+        plan = FaultPlan(rate=1.0, kinds=("disk-error",), max_faults=1)
+        shell = Shell(fast_machine(), faults=plan)
+        shell.fs.write_bytes("/f", b"hello\n")
+        assert shell.run("cat /f").status == EX_IOERR
+        # the storm (budget 1) has passed: the same command now succeeds
+        again = shell.run("cat /f")
+        assert again.status == 0 and again.stdout == b"hello\n"
+
+    def test_shell_faults_property(self):
+        shell = Shell(fast_machine())
+        assert shell.faults is None
+        plan = FaultPlan(rate=0.0)
+        shell.faults = plan
+        assert shell.kernel.faults is plan
+        shell.faults = None
+        assert shell.faults is None
+
+
+class TestRetryPolicy:
+    def test_should_retry_is_one_based(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert policy.attempts() == 3
+
+    def test_no_retry(self):
+        assert not NO_RETRY.should_retry(1)
+        assert NO_RETRY.attempts() == 1
+
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(max_retries=5, base_delay_s=0.1, backoff=2.0,
+                             max_delay_s=0.35)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.35)  # capped
+        assert policy.delay(4) == pytest.approx(0.35)
+
+    def test_zero_base_delay_stays_zero(self):
+        assert RetryPolicy().delay(1) == 0.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(base_delay_s=0.1, jitter=0.5, seed=4)
+        b = RetryPolicy(base_delay_s=0.1, jitter=0.5, seed=4)
+        c = RetryPolicy(base_delay_s=0.1, jitter=0.5, seed=5)
+        assert a.delay(1) == b.delay(1)
+        assert a.delay(1) != c.delay(1)
+        assert a.delay(1) >= 0.0
+
+    def test_policy_from_max_retries(self):
+        policy = policy_from_max_retries(4)
+        assert policy.max_retries == 4
+        assert policy.attempts() == 5

@@ -1,0 +1,75 @@
+"""Kill-status propagation regression tests.
+
+A SIGKILLed process must surface as ``$? = 137`` through every shell
+construct — pipelines, subshells, background jobs, pipefail, errexit.
+The chaos layer's timed-crash specs make the kills deterministic: the
+victim is named, the virtual time is fixed, and the same seed always
+reproduces the same death."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, Shell
+from repro.vos.faults import CRASH_STATUS
+from repro.vos.machines import laptop
+
+BIG = b"banana\napple\ncherry\n" * 20_000  # keeps sort busy past the crash
+
+
+def run(script: str, victim: str = "sort", at: float = 1e-4):
+    plan = FaultPlan(specs=(FaultSpec("crash", at=at, proc=victim),))
+    shell = Shell(laptop(), faults=plan)
+    shell.fs.write_bytes("/big", BIG)
+    result = shell.run(script)
+    return result, plan
+
+
+class TestKillStatus:
+    def test_simple_command(self):
+        result, plan = run("sort /big")
+        assert result.status == CRASH_STATUS
+        assert plan.fired == 1
+
+    def test_last_pipeline_stage(self):
+        result, _ = run("cat /big | sort")
+        assert result.status == CRASH_STATUS
+
+    def test_middle_stage_masked_without_pipefail(self):
+        # POSIX: the pipeline's status is the last stage's status
+        result, plan = run("cat /big | sort | wc -l")
+        assert plan.fired == 1
+        assert result.status == 0
+
+    def test_middle_stage_observed_with_pipefail(self):
+        result, _ = run("set -o pipefail\ncat /big | sort | wc -l")
+        assert result.status == CRASH_STATUS
+
+    def test_subshell(self):
+        result, _ = run("( sort /big )")
+        assert result.status == CRASH_STATUS
+
+    def test_background_job_via_wait(self):
+        result, _ = run("sort /big &\nwait $!\n")
+        assert result.status == CRASH_STATUS
+
+    def test_status_visible_in_dollar_q(self):
+        result, _ = run('sort /big\necho "status=$?"')
+        assert result.status == 0
+        assert b"status=137" in result.stdout
+
+    def test_errexit_aborts_script(self):
+        result, _ = run("set -e\nsort /big\necho alive")
+        assert result.status == CRASH_STATUS
+        assert b"alive" not in result.stdout
+
+    def test_conditional_guard_sees_failure(self):
+        result, _ = run('if sort /big; then echo ok; else echo dead; fi')
+        assert result.status == 0
+        assert result.stdout == b"dead\n"
+
+    def test_unkilled_control_run_is_clean(self):
+        result, plan = run("sort /big | wc -l", victim="nonesuch")
+        assert result.status == 0
+        assert plan.fired == 0
+        assert result.stdout.strip() == b"60000"

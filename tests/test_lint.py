@@ -145,3 +145,62 @@ class TestExplain:
     def test_stdin_dash(self):
         text = explain_command(["comm", "-13", "dict", "-"])
         assert "standard input" in text
+
+
+class TestUncheckedFailure:
+    def test_flags_fallible_producer(self):
+        diagnostics = lint("cat /big | sort | wc -l")
+        hits = [d for d in diagnostics if d.code == "JS2250"]
+        assert len(hits) == 1  # one diagnostic per pipeline
+        assert "pipefail" in hits[0].message
+
+    def test_pipefail_silences(self):
+        assert "JS2250" not in codes("set -o pipefail\ncat /big | sort")
+
+    def test_errexit_silences(self):
+        assert "JS2250" not in codes("set -e\ncat /big | sort")
+
+    def test_combined_flag_spelling_silences(self):
+        assert "JS2250" not in codes("set -eu\ncat /big | sort")
+
+    def test_stdin_only_producer_not_flagged(self):
+        # tr reads stdin: its failure arrives with its feeder's EOF
+        assert "JS2250" not in codes("tr a-z A-Z | sort")
+
+    def test_last_stage_not_a_producer(self):
+        assert "JS2250" not in codes("echo hi | grep h")
+
+    def test_condition_position_exempt(self):
+        assert "JS2250" not in codes(
+            "if cat /big | grep -q x; then echo y; fi")
+        assert "JS2250" not in codes(
+            "while cat /q | grep -q go; do echo tick; done")
+
+    def test_andor_left_exempt_right_flagged(self):
+        assert "JS2250" not in codes("cat /big | grep -q x && echo found")
+
+    def test_negation_exempt(self):
+        assert "JS2250" not in codes("! cat /big | grep -q x")
+
+    def test_single_stage_never_flagged(self):
+        assert "JS2250" not in codes("cat /big")
+
+
+class TestExplainCheck:
+    def test_new_code_has_rich_entry(self):
+        from repro.lint import explain_check
+
+        text = explain_check("JS2250")
+        assert "pipefail" in text
+        assert "last" in text
+
+    def test_docstring_fallback(self):
+        from repro.lint import explain_check
+
+        text = explain_check("JS2086")
+        assert "splitting" in text
+
+    def test_unknown_code(self):
+        from repro.lint import explain_check
+
+        assert "no explanation" in explain_check("JS9999")
