@@ -40,13 +40,18 @@ def machines(input_bytes: int) -> dict[str, MachineSpec]:
 
 @pytest.fixture(scope="module")
 def figure1_results():
+    from repro.obs import Tracer
+
     data = words_text(int(bench_mb() * 1e6), seed=42)
     files = {"/data/words.txt": data}
     results = {}
     outputs = {}
     for mname, machine in machines(len(data)).items():
         for engine in ("bash", "pash", "jash"):
-            run = run_engine(engine, SCRIPT, machine, files=files)
+            # accounting-only tracing: resource metrics without the
+            # per-event record list
+            run = run_engine(engine, SCRIPT, machine, files=files,
+                             tracer=Tracer(record_events=False))
             assert run.result.status == 0, (engine, mname, run.result.err)
             results[(engine, mname)] = run.result.elapsed
             outputs[(engine, mname)] = run
@@ -54,18 +59,24 @@ def figure1_results():
 
 
 def test_figure1_table(figure1_results, benchmark):
-    results, _ = figure1_results
+    results, outputs = figure1_results
     once(benchmark, lambda: None)
     rows = []
+    metrics = {}
     for mname in ("Standard", "IO-opt"):
         for engine in ("bash", "pash", "jash"):
             t = results[(engine, mname)]
             rows.append([mname, engine, t,
                          speedup(results[("bash", mname)], t)])
+            metrics[f"{engine}/{mname}"] = {
+                "virtual_s": t,
+                "vs_bash": results[("bash", mname)] / t,
+                "resources": outputs[(engine, mname)].metrics(),
+            }
     record("figure1", format_table(
         ["instance", "engine", "virtual_s", "vs_bash"], rows,
         title="Figure 1: word-sort under bash / PaSh / Jash",
-    ))
+    ), metrics=metrics)
 
 
 def test_figure1_shape_standard(figure1_results, benchmark):

@@ -10,6 +10,7 @@ reproduction target, see DESIGN.md §4).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -22,12 +23,21 @@ def bench_mb() -> float:
     return float(os.environ.get("JASH_BENCH_MB", "8"))
 
 
-def record(name: str, table: str) -> None:
-    """Print a result table and persist it for EXPERIMENTS.md."""
+def record(name: str, table: str, metrics: dict | None = None) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md.
+
+    ``metrics`` (a JSON-serializable dict, typically built from
+    ``ResourceAccounting.to_dict()``) is additionally written to
+    ``results/{name}.json`` — the machine-readable companion of the
+    human-readable table.
+    """
     print()
     print(table)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    if metrics is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n")
 
 
 def once(benchmark, fn):

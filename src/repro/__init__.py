@@ -17,6 +17,7 @@ repro.incremental     S11 incremental re-execution framework
 repro.distributed     S12 distributed fault-tolerant shell + POSH placement
 repro.lint            S13 static checks, misuse guard, explain
 repro.bench           S14 benchmark harness
+repro.obs             S15 tracing, resource accounting, critical path
 ====================  =====================================================
 
 Quickstart::
@@ -32,6 +33,7 @@ from .distributed.retry import RetryPolicy
 from .incremental import IncrementalOptimizer
 from .jit import JashConfig, JashOptimizer
 from .jit.composite import CompositeOptimizer
+from .obs import Tracer
 from .shell import RunResult, Shell, run_script
 from .vos.faults import FaultPlan, FaultSpec
 from .vos.machines import (
@@ -53,5 +55,5 @@ __all__ = [
     "run_script", "MachineSpec", "PROFILES", "aws_c5_2xlarge_gp2",
     "aws_c5_2xlarge_gp3", "laptop", "profile", "raspberry_pi",
     "supercomputer_node", "FaultPlan", "FaultSpec", "RetryPolicy",
-    "__version__",
+    "Tracer", "__version__",
 ]

@@ -21,10 +21,18 @@ class EngineRun:
     result: RunResult
     optimizer: object = None
     shell: object = None  # the Shell (and its fs) the run executed on
+    tracer: object = None  # repro.obs.Tracer, when the run was traced
 
     @property
     def elapsed(self) -> float:
         return self.result.elapsed
+
+    def metrics(self) -> Optional[dict]:
+        """Machine-readable resource metrics (ResourceAccounting.to_dict),
+        or None for untraced runs."""
+        if self.tracer is None:
+            return None
+        return self.tracer.accounting.to_dict()
 
 
 def make_engine(engine: str, pash_width: int = 8):
@@ -42,14 +50,15 @@ def run_engine(engine: str, script: str, machine: MachineSpec,
                files: Optional[dict[str, bytes]] = None,
                args: Optional[list[str]] = None,
                env: Optional[dict[str, str]] = None,
-               pash_width: int = 8) -> EngineRun:
+               pash_width: int = 8,
+               tracer=None) -> EngineRun:
     """One fresh machine, one engine, one script."""
     optimizer = make_engine(engine, pash_width)
-    shell = Shell(machine, optimizer=optimizer)
+    shell = Shell(machine, optimizer=optimizer, tracer=tracer)
     for path, data in (files or {}).items():
         shell.fs.write_bytes(path, data)
     result = shell.run(script, args=args, env=env)
-    return EngineRun(engine, machine.name, result, optimizer, shell)
+    return EngineRun(engine, machine.name, result, optimizer, shell, tracer)
 
 
 def run_matrix(script: str, machines: dict[str, MachineSpec],

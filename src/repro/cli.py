@@ -3,7 +3,8 @@
 Subcommands::
 
     jash run SCRIPT.sh [--engine bash|pash|jash] [--machine PROFILE]
-    jash -c 'cat f | sort'                  # run inline
+    jash run -c 'cat f | sort' --trace OUT.json  # + Chrome trace export
+    jash profile SCRIPT.sh                  # critical-path report
     jash lint SCRIPT.sh                     # static diagnostics
     jash explain 'cut -c1-4 | sort -rn'     # spec-backed explanation
     jash parse -c 'if true; then echo x; fi'  # AST dump
@@ -44,6 +45,26 @@ def _main(argv=None) -> int:
                        help="copy a host file into the virtual fs")
     run_p.add_argument("--report", action="store_true",
                        help="print the optimizer's decisions afterwards")
+    run_p.add_argument("--trace", metavar="OUT.json",
+                       help="record a trace and export Chrome trace_event "
+                            "JSON (open in ui.perfetto.dev)")
+
+    prof_p = sub.add_parser(
+        "profile", help="run a script with tracing and print the "
+                        "critical-path report")
+    prof_p.add_argument("script", nargs="?", help="script file (host path)")
+    prof_p.add_argument("-c", dest="inline", help="inline script text")
+    prof_p.add_argument("--engine", choices=("bash", "pash", "jash"),
+                        default="jash")
+    prof_p.add_argument("--machine", choices=sorted(PROFILES),
+                        default="laptop")
+    prof_p.add_argument("--file", action="append", default=[],
+                        metavar="HOST:VIRT",
+                        help="copy a host file into the virtual fs")
+    prof_p.add_argument("--trace", metavar="OUT.json",
+                        help="also export the Chrome trace_event JSON")
+    prof_p.add_argument("--top", type=int, default=8,
+                        help="processes to show in the report table")
 
     lint_p = sub.add_parser("lint", help="static analysis of a script")
     lint_p.add_argument("script", nargs="?")
@@ -69,7 +90,12 @@ def _main(argv=None) -> int:
         text = _script_text(args)
         machine = profile(args.machine)
         optimizer = make_engine(args.engine)
-        shell = Shell(machine, optimizer=optimizer)
+        tracer = None
+        if args.trace:
+            from .obs import Tracer
+
+            tracer = Tracer()
+        shell = Shell(machine, optimizer=optimizer, tracer=tracer)
         for spec in args.file:
             host, _, virt = spec.partition(":")
             with open(host, "rb") as fh:
@@ -81,6 +107,34 @@ def _main(argv=None) -> int:
               file=sys.stderr)
         if args.report and optimizer is not None and hasattr(optimizer, "report"):
             print(optimizer.report(), file=sys.stderr)
+        if tracer is not None:
+            from .obs import dump_chrome
+
+            dump_chrome(tracer, args.trace)
+            print(f"[trace: {len(tracer.records)} records -> {args.trace}]",
+                  file=sys.stderr)
+        return result.status
+
+    if args.cmd == "profile":
+        from .obs import Tracer, dump_chrome, render_report
+
+        text = _script_text(args)
+        machine = profile(args.machine)
+        optimizer = make_engine(args.engine)
+        tracer = Tracer()
+        shell = Shell(machine, optimizer=optimizer, tracer=tracer)
+        for spec in args.file:
+            host, _, virt = spec.partition(":")
+            with open(host, "rb") as fh:
+                shell.fs.write_bytes(virt or "/" + host, fh.read())
+        result = shell.run(text)
+        sys.stderr.write(result.err)
+        print(f"[status {result.status}, virtual time {result.elapsed:.4f}s "
+              f"on {machine.name}, engine {args.engine}]")
+        print(render_report(tracer, top=args.top))
+        if args.trace:
+            dump_chrome(tracer, args.trace)
+            print(f"[trace: {len(tracer.records)} records -> {args.trace}]")
         return result.status
 
     if args.cmd == "lint":

@@ -129,8 +129,17 @@ class PashOptimizer:
             self.events.append(AotEvent(text, "skipped",
                                         "no applicable split mode"))
             return None
+        kernel = proc.kernel
+        tracer = getattr(kernel, "tracer", None)
+        exec_start = kernel.now
+        snapshot = tracer.region_begin() if tracer is not None else None
         if not self.config.transactional:
             status = yield from execute_plan(plan, proc, cwd=interp.state.cwd)
+            if tracer is not None:
+                tracer.region_end(
+                    "aot", "aot.region", exec_start, kernel.now, snapshot,
+                    proc, command=text, decision="optimized",
+                    width=self.config.width, mode=plan.mode, status=status)
             self.events.append(AotEvent(text, "optimized",
                                         f"fixed width {self.config.width}",
                                         plan.description))
@@ -140,12 +149,28 @@ class PashOptimizer:
             plan, proc, cwd=interp.state.cwd,
             policy=self.config.retry, report=report)
         if report.gave_up:
+            if tracer is not None:
+                tracer.instant("aot", "aot.fallback", kernel.now, proc,
+                               command=text, attempts=report.attempts,
+                               fault_failures=report.fault_failures)
+                tracer.region_end(
+                    "aot", "aot.region", exec_start, kernel.now, snapshot,
+                    proc, command=text, decision="interpreted",
+                    width=self.config.width,
+                    fault_failures=report.fault_failures)
             self.events.append(AotEvent(
                 text, "interpreted",
                 f"fault fallback to interpreter after {report.attempts} "
                 "attempts", plan.description,
                 fault_failures=report.fault_failures))
             return None
+        if tracer is not None:
+            tracer.region_end(
+                "aot", "aot.region", exec_start, kernel.now, snapshot,
+                proc, command=text,
+                decision="degraded" if report.fault_failures else "optimized",
+                width=self.config.width, mode=plan.mode, status=status,
+                fault_failures=report.fault_failures)
         self.events.append(AotEvent(
             text,
             "degraded" if report.fault_failures else "optimized",

@@ -154,7 +154,9 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
     """
     policy = policy or DEFAULT_REGION_POLICY
     report = report if report is not None else RecoveryReport()
-    faults = getattr(proc.kernel, "faults", None)
+    kernel = proc.kernel
+    tracer = getattr(kernel, "tracer", None)
+    faults = getattr(kernel, "faults", None)
     if faults is None:
         status = yield from execute_plan(plan, proc, cwd=cwd)
         report.attempts += 1
@@ -175,6 +177,7 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
     while True:
         report.attempts += 1
         mark = faults.fired
+        attempt_start = kernel.now
         staging: Optional[Collector] = None
         if sink_path is not None:
             sink_stream.path = staged_path
@@ -187,16 +190,30 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
                 sink_stream.path = sink_path
         report.last_status = status
         suspected = status in FAULT_STATUSES or (status != 0 and faults.fired > mark)
+        if tracer is not None:
+            tracer.span("tx", "tx.attempt", attempt_start, kernel.now, proc,
+                        attempt=report.attempts, status=status,
+                        suspected=suspected,
+                        faults_fired=faults.fired - mark)
         if not suspected:
             yield from _commit(proc, staging, staged_path, sink_path, cwd)
             for path in plan.temp_files:
                 _unlink_quiet(proc, path, cwd)
+            if tracer is not None:
+                tracer.instant("tx", "tx.commit", kernel.now, proc,
+                               attempt=report.attempts, status=status,
+                               sink=tracer.canon_path(sink_path)
+                               if sink_path is not None else "stdout")
             return status
         report.fault_failures += 1
         _rollback(proc, plan, staged_path, cwd)
         if uses_stdin and stdin_offset is not None:
             stdin_handle.offset = stdin_offset
         retry_no += 1
+        if tracer is not None:
+            tracer.instant("tx", "tx.rollback", kernel.now, proc,
+                           attempt=report.attempts, status=status,
+                           retrying=retryable and policy.should_retry(retry_no))
         if not retryable or not policy.should_retry(retry_no):
             report.gave_up = True
             return status

@@ -126,6 +126,7 @@ class DistributedShell:
         retries_box = {"count": 0}
 
         shell = self
+        tracer = getattr(kernel, "tracer", None)
 
         def main(proc: Process):
             # fault injection reapers
@@ -143,6 +144,9 @@ class DistributedShell:
                     proc, stages, path, node_name
                 )
                 yield from shell._arm_watchdog(proc, branch[0], policy)
+                if tracer is not None:
+                    tracer.instant("dshell", "dshell.dispatch", kernel.now,
+                                   proc, path=path, node=node_name, attempt=0)
                 pending.append((path, node_name) + branch)
             attempt = 0
             while pending:
@@ -179,9 +183,19 @@ class DistributedShell:
                             proc, stages, path, node_name
                         )
                         yield from shell._arm_watchdog(proc, branch[0], policy)
+                        if tracer is not None:
+                            tracer.instant("dshell", "dshell.retry",
+                                           kernel.now, proc, path=path,
+                                           node=node_name, failed_on=bad_node,
+                                           attempt=attempt)
                         pending.append((path, node_name) + branch)
+            merge_start = kernel.now
             status = yield from shell._merge(proc, staged, paths,
                                              agg_kind, agg_argv, out)
+            if tracer is not None:
+                tracer.span("dshell", "dshell.merge", merge_start, kernel.now,
+                            proc, node=shell.head, branches=len(paths),
+                            agg=agg_kind.name.lower(), status=status)
             return status
 
         root = kernel.create_process(main, "dshell",

@@ -94,10 +94,13 @@ class JashOptimizer:
     def try_execute(self, interp, proc, node: Command):
         from .frontend import expand_region, pipeline_stages, purity_reason
 
+        kernel = proc.kernel
+        tracer = getattr(kernel, "tracer", None)
         text = unparse(node)
         stages_ast = pipeline_stages(node)
         if stages_ast is None:
-            self._skip(text, "not a flat pipeline of simple commands")
+            self._skip(text, "not a flat pipeline of simple commands",
+                       tracer=tracer, proc=proc)
             return None
             yield  # pragma: no cover - generator shape
 
@@ -106,9 +109,11 @@ class JashOptimizer:
                                       self.config.allow_pure_cmdsub,
                                       self._pure_commands)
         if impure_reason is not None:
-            self._skip(text, f"unsafe early expansion: {impure_reason}")
+            self._skip(text, f"unsafe early expansion: {impure_reason}",
+                       tracer=tracer, proc=proc)
             return None
 
+        compile_start = kernel.now
         # charge the cheap pre-screen (expansion + stat)
         yield from proc.cpu(self.config.probe_cost_s)
 
@@ -116,20 +121,24 @@ class JashOptimizer:
         region = yield from expand_region(interp, proc, stages_ast,
                                           self.config.library)
         if region is None:
-            self._skip(text, "stages not classifiable as a dataflow region")
+            self._skip(text, "stages not classifiable as a dataflow region",
+                       tracer=tracer, proc=proc)
             return None
         if not region.parallelizable:
-            self._skip(text, "no parallelizable stage")
+            self._skip(text, "no parallelizable stage",
+                       tracer=tracer, proc=proc)
             return None
 
         # 3./4. probe the system
         input_files = region_input_files(region, proc.fs, interp.state.cwd)
         if input_files is None:
-            self._skip(text, "input is not file-backed (size unknown)")
+            self._skip(text, "input is not file-backed (size unknown)",
+                       tracer=tracer, proc=proc)
             return None
         input_bytes, avg_line, avg_token = measure_input(proc.fs, input_files)
         if input_bytes < self.config.optimizer.min_input_bytes:
-            self._skip(text, "input below optimization threshold")
+            self._skip(text, "input below optimization threshold",
+                       tracer=tracer, proc=proc)
             return None
         probe = probe_machine(proc, input_bytes, avg_line, avg_token)
         # the pre-screen passed: pay for a full compilation
@@ -138,15 +147,31 @@ class JashOptimizer:
         # 5. cost-based decision, no-regression objective
         file_sizes = fs_file_sizes(proc.fs, interp.state.cwd)
         decision: Decision = self.optimizer.choose(region, probe, file_sizes)
+        if tracer is not None:
+            tracer.span("jit", "jit.compile", compile_start, kernel.now, proc,
+                        command=text, transformed=decision.transformed,
+                        width=decision.plan.width if decision.transformed else 1,
+                        input_bytes=input_bytes, reason=decision.reason,
+                        estimate_s=round(decision.estimate.seconds, 6),
+                        baseline_s=round(decision.baseline.seconds, 6))
         if not decision.transformed:
             self._skip(text, decision.reason,
-                       baseline=decision.baseline.seconds)
+                       baseline=decision.baseline.seconds,
+                       tracer=tracer, proc=proc)
             return None
 
         # 6. execute the dataflow plan
+        exec_start = kernel.now
+        snapshot = tracer.region_begin() if tracer is not None else None
         if not self.config.transactional:
             status = yield from execute_plan(decision.plan, proc,
                                              cwd=interp.state.cwd)
+            if tracer is not None:
+                tracer.region_end(
+                    "jit", "jit.region", exec_start, kernel.now, snapshot,
+                    proc, command=text, decision="optimized",
+                    width=decision.plan.width, mode=decision.plan.mode,
+                    status=status)
             self.events.append(JitEvent(
                 text, "optimized", decision.reason,
                 decision.plan.description,
@@ -183,6 +208,17 @@ class JashOptimizer:
                     next_width //= 2
             if next_plan is None:
                 trail = " -> ".join(str(w) for w in widths_tried)
+                if tracer is not None:
+                    tracer.instant("jit", "jit.degrade", kernel.now, proc,
+                                   command=text, from_width=width,
+                                   to="interpreter",
+                                   fault_failures=report.fault_failures)
+                    tracer.region_end(
+                        "jit", "jit.region", exec_start, kernel.now, snapshot,
+                        proc, command=text, decision="interpreted",
+                        width=decision.plan.width,
+                        fault_failures=report.fault_failures,
+                        degraded=f"{trail} -> interpreter")
                 self.events.append(JitEvent(
                     text, "interpreted",
                     f"degraded to interpreter after {report.fault_failures} "
@@ -192,12 +228,24 @@ class JashOptimizer:
                     degraded=f"{trail} -> interpreter",
                 ))
                 return None
+            if tracer is not None:
+                tracer.instant("jit", "jit.degrade", kernel.now, proc,
+                               command=text, from_width=width,
+                               to=next_width,
+                               fault_failures=rung.fault_failures)
             plan = next_plan
             width = next_width
             widths_tried.append(width)
 
         degraded = (" -> ".join(str(w) for w in widths_tried)
                     if len(widths_tried) > 1 else "")
+        if tracer is not None:
+            tracer.region_end(
+                "jit", "jit.region", exec_start, kernel.now, snapshot,
+                proc, command=text,
+                decision="degraded" if report.fault_failures else "optimized",
+                width=plan.width, mode=plan.mode, status=status,
+                fault_failures=report.fault_failures, degraded=degraded)
         self.events.append(JitEvent(
             text,
             "degraded" if report.fault_failures else "optimized",
@@ -213,9 +261,13 @@ class JashOptimizer:
 
     # -- helpers ------------------------------------------------------------------
 
-    def _skip(self, text: str, reason: str, baseline: float = 0.0) -> None:
+    def _skip(self, text: str, reason: str, baseline: float = 0.0,
+              tracer=None, proc=None) -> None:
         self.events.append(JitEvent(text, "interpreted", reason,
                                     baseline_s=baseline))
+        if tracer is not None and proc is not None:
+            tracer.instant("jit", "jit.skip", proc.kernel.now, proc,
+                           command=text, reason=reason)
 
     # -- reporting --------------------------------------------------------------------
 

@@ -1,0 +1,118 @@
+"""Critical-path analysis over a trace's accounting graph.
+
+The dependency graph is reconstructed from what the tracer observed:
+a process depends on the writers of every pipe it read from and on the
+children it waited on.  The critical path is walked backwards from the
+last process to finish, hopping at each step to the dependency that
+finished last — the chain whose members each other process was (possibly
+transitively) waiting for.  Each hop is attributed to the resource that
+bounded it (CPU vs disk vs backpressure vs waiting), which is what turns
+a Figure-1 timing into an explanation ("disk-IOPS-bound after burst
+credits drain").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accounting import ProcStats, ResourceAccounting
+from .tracer import Tracer
+
+
+@dataclass
+class Hop:
+    """One process on the critical path plus its bounding resource."""
+
+    stats: ProcStats
+    bound: str
+    breakdown: dict
+
+
+def critical_path(acct: ResourceAccounting) -> list[Hop]:
+    """The longest dependency chain, earliest hop first."""
+    procs = acct.per_process
+    if not procs:
+        return []
+    writers_of = {key: ps.writers for key, ps in acct.pipes.items()}
+
+    def preds(st: ProcStats) -> set[int]:
+        out: set[int] = set()
+        for key in st.pipes_read:
+            out |= writers_of.get(key, set())
+        out |= st.waited_on
+        out.discard(st.pid)
+        return out
+
+    def endtime(st: ProcStats) -> float:
+        return st.end if st.end is not None else 0.0
+
+    current = max(procs.values(), key=lambda s: (endtime(s), s.pid))
+    chain = [current]
+    seen = {current.pid}
+    while True:
+        candidates = [procs[p] for p in preds(current)
+                      if p in procs and p not in seen]
+        if not candidates:
+            break
+        current = max(candidates, key=lambda s: (endtime(s), s.pid))
+        chain.append(current)
+        seen.add(current.pid)
+    chain.reverse()
+    return [Hop(st, st.bound(), st.breakdown()) for st in chain]
+
+
+def render_report(tracer: Tracer, top: int = 8) -> str:
+    """The plain-text critical-path report ``jash profile`` prints."""
+    from ..bench.report import format_table
+
+    acct = tracer.accounting
+    chain = critical_path(acct)
+    lines: list[str] = []
+    ends = [st.end for st in acct.per_process.values() if st.end is not None]
+    starts = [st.start for st in acct.per_process.values()]
+    total = (max(ends) - min(starts)) if ends and starts else 0.0
+    lines.append("== critical path (longest dependency chain) ==")
+    if not chain:
+        lines.append("(no processes traced)")
+        return "\n".join(lines)
+    lines.append(f"total traced wall clock: {total:.4f} virtual seconds; "
+                 f"{len(chain)} hop(s) on the critical path")
+    rows = []
+    for i, hop in enumerate(chain, 1):
+        st = hop.stats
+        rows.append([
+            i, st.pid, st.name, st.node, st.wall_s, hop.bound,
+            hop.breakdown["cpu"], hop.breakdown["disk"],
+            hop.breakdown["backpressure"], hop.breakdown["input-wait"],
+            hop.breakdown["child-wait"],
+        ])
+    lines.append(format_table(
+        ["hop", "pid", "process", "node", "wall_s", "bound", "cpu_s",
+         "disk_s", "backpr_s", "inwait_s", "childwait_s"], rows))
+    # which hop dominates, in words
+    worker_hops = [h for h in chain if h.bound != "child-wait"] or chain
+    slow = max(worker_hops, key=lambda h: h.stats.wall_s)
+    lines.append(
+        f"slowest hop: pid {slow.stats.pid} ({slow.stats.name}) — "
+        f"{slow.bound}-bound for {slow.breakdown[slow.bound]:.4f}s of "
+        f"{slow.stats.wall_s:.4f}s wall")
+
+    notes = [r for r in tracer.records
+             if r.cat == "disk" and r.name.startswith("disk.credits_exhausted")]
+    if notes:
+        lines.append("== resource notes ==")
+        for r in notes:
+            node = r.name.split(":", 1)[1] if ":" in r.name else r.node
+            lines.append(f"disk on node {node!r}: burst credits exhausted at "
+                         f"t={r.ts:.4f}s — IOPS-bound (base rate) afterwards")
+    faults = [r for r in tracer.records if r.cat == "fault"]
+    if faults:
+        lines.append(f"== injected faults ({len(faults)}) ==")
+        for r in faults[:top]:
+            lines.append(f"t={r.ts:.6f} {r.name} target={r.args.get('target')} "
+                         f"op={r.args.get('op')} [{r.args.get('source')}]")
+        if len(faults) > top:
+            lines.append(f"... {len(faults) - top} more")
+    lines.append("== top processes by wall clock ==")
+    lines.append(acct.table(top=top))
+    return "\n".join(lines)

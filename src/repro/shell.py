@@ -57,14 +57,21 @@ class Shell:
                  kernel: Optional[Kernel] = None,
                  optimizer=None,
                  persist_state: bool = False,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 tracer=None):
         self.machine = machine or laptop()
         self.kernel = kernel if kernel is not None else self.machine.make_kernel()
         self.optimizer = optimizer
         self.persist_state = persist_state
+        if tracer is not None:
+            self.kernel.install_tracer(tracer)
         if faults is not None:
             self.kernel.faults = faults
         self._state: Optional[ShellState] = None
+
+    @property
+    def tracer(self):
+        return self.kernel.tracer
 
     @property
     def faults(self) -> Optional[FaultPlan]:
@@ -124,9 +131,10 @@ def run_script(script: str, machine: Optional[MachineSpec] = None,
                args: Optional[list[str]] = None,
                env: Optional[dict[str, str]] = None,
                optimizer=None,
-               faults: Optional[FaultPlan] = None) -> RunResult:
+               faults: Optional[FaultPlan] = None,
+               tracer=None) -> RunResult:
     """One-shot helper: build a machine, load ``files``, run ``script``."""
-    shell = Shell(machine, optimizer=optimizer, faults=faults)
+    shell = Shell(machine, optimizer=optimizer, faults=faults, tracer=tracer)
     for path, data in (files or {}).items():
         shell.fs.write_bytes(path, data)
     return shell.run(script, args=args, env=env)

@@ -73,7 +73,9 @@ class _DiskRequest:
     ops: float
     process: object  # Process to wake with `result` when service completes
     result: object = None
-    start: float = 0.0
+    start: float = 0.0  # submit time (queue wait starts here)
+    #: when the device actually began serving this request
+    service_start: float = 0.0
     #: service-time multiplier (>1 under an injected disk slowdown)
     slow: float = 1.0
 

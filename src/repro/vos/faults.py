@@ -139,6 +139,10 @@ class FaultPlan:
         self.specs = tuple(specs)
         self.slow_factor = slow_factor
         self.max_faults = max_faults
+        #: optional repro.obs.Tracer — firings are mirrored into the
+        #: structured trace stream, inline with kernel spans (wired by
+        #: Kernel.install_tracer / the Kernel.faults setter)
+        self.tracer = None
         self.reset()
 
     def reset(self) -> None:
@@ -164,7 +168,10 @@ class FaultPlan:
         return self.max_faults is None or self.fired < self.max_faults
 
     def _record(self, now: float, kind: str, target: str, source: str) -> None:
-        self.log.append(FaultEvent(now, kind, target, source))
+        event = FaultEvent(now, kind, target, source)
+        self.log.append(event)
+        if self.tracer is not None:
+            self.tracer.on_fault(now, event, self.ops)
 
     def trace(self) -> list[str]:
         """The virtual-time fault trace (for determinism assertions)."""

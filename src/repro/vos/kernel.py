@@ -17,6 +17,7 @@ the virtual time consumed.
 from __future__ import annotations
 
 import heapq
+import warnings
 from collections import deque
 from typing import Callable, Optional
 
@@ -96,10 +97,62 @@ class Kernel:
         self._timer_seq = 0
         self.network = None  # installed by repro.distributed for clusters
         self._net_queue: list = []
-        self.trace: Optional[Callable[[str], None]] = None
+        #: structured tracer (repro.obs.Tracer) or None; every emission
+        #: site is guarded so an untraced kernel pays one None-check
+        self.tracer = None
+        self._trace_legacy: Optional[Callable[[str], None]] = None
+        self._legacy_subscribed = False
         self.steps = 0
         #: optional repro.vos.faults.FaultPlan consulted at dispatch
-        self.faults = None
+        self._faults = None
+
+    # -- observability -----------------------------------------------------------
+
+    def install_tracer(self, tracer) -> None:
+        """Attach a repro.obs.Tracer; fault plans installed before or
+        after are wired into the same stream."""
+        self.tracer = tracer
+        if self._faults is not None and tracer is not None:
+            self._faults.tracer = tracer
+
+    @property
+    def faults(self):
+        return self._faults
+
+    @faults.setter
+    def faults(self, plan) -> None:
+        self._faults = plan
+        if plan is not None and self.tracer is not None:
+            plan.tracer = self.tracer
+
+    @property
+    def trace(self) -> Optional[Callable[[str], None]]:
+        """Deprecated: the pre-obs string-callback hook.  Setting it now
+        subscribes a formatting adapter to the structured Tracer."""
+        return self._trace_legacy
+
+    @trace.setter
+    def trace(self, fn: Optional[Callable[[str], None]]) -> None:
+        self._trace_legacy = fn
+        if fn is None:
+            return
+        warnings.warn(
+            "Kernel.trace is deprecated; install a repro.obs.Tracer via "
+            "Kernel.install_tracer() / Shell(tracer=...) instead",
+            DeprecationWarning, stacklevel=2)
+        from ..obs.tracer import Tracer, format_record
+
+        if self.tracer is None:
+            self.install_tracer(Tracer())
+        if not self._legacy_subscribed:
+            self._legacy_subscribed = True
+
+            def adapter(record):
+                callback = self._trace_legacy
+                if callback is not None:
+                    callback(format_record(record))
+
+            self.tracer.subscribe(adapter)
 
     # -- topology ----------------------------------------------------------------
 
@@ -116,7 +169,8 @@ class Kernel:
 
     def create_process(self, target: Callable, name: str = "proc",
                        node: Optional[Node] = None, cwd: str = "/",
-                       fds: Optional[dict[int, Handle]] = None) -> Process:
+                       fds: Optional[dict[int, Handle]] = None,
+                       parent: Optional[Process] = None) -> Process:
         node = node or self.main_node
         proc = Process(self._next_pid, name, node, self)
         self._next_pid += 1
@@ -128,6 +182,9 @@ class Kernel:
         proc.start_time = self.now
         self.processes[proc.pid] = proc
         self._ready.append((proc, None, None))
+        tr = self.tracer
+        if tr is not None:
+            tr.on_spawn(self.now, proc, parent)
         return proc
 
     def kill_process(self, proc: Process, status: int = 137) -> None:
@@ -136,7 +193,10 @@ class Kernel:
         if proc.state == DONE:
             return
         self._advance_cpu(proc.node)
-        proc.node.cpu_active.pop(proc, None)
+        remaining = proc.node.cpu_active.pop(proc, None)
+        tr = self.tracer
+        if tr is not None and remaining is not None:
+            tr.on_cpu_killed(self.now, proc, remaining)
         self._exit(proc, status, error="killed")
 
     def processes_on(self, node: Node) -> list[Process]:
@@ -156,9 +216,14 @@ class Kernel:
             del node.cpu_active[proc]
         for fd in list(proc.fds):
             self._close_fd(proc, fd)
+        tr = self.tracer
         for waiter in proc.waiters:
+            if tr is not None:
+                tr.on_wait_end(self.now, waiter, proc)
             self._ready.append((waiter, proc.exit_status, None))
         proc.waiters.clear()
+        if tr is not None:
+            tr.on_exit(self.now, proc)
 
     def _close_fd(self, proc: Process, fd: int) -> None:
         handle = proc.fds.pop(fd, None)
@@ -234,6 +299,9 @@ class Kernel:
     # -- syscall dispatch -------------------------------------------------------------
 
     def _dispatch(self, proc: Process, request) -> None:
+        tr = self.tracer
+        if tr is not None and tr.syscall_events:
+            tr.on_syscall(self.now, proc, request)
         if isinstance(request, CpuReq):
             self._sys_cpu(proc, request)
         elif isinstance(request, ReadReq):
@@ -271,6 +339,9 @@ class Kernel:
         work = max(_EPS, request.seconds / node.cpu_speed)
         self._advance_cpu(node)
         node.cpu_active[proc] = work
+        tr = self.tracer
+        if tr is not None:
+            tr.on_cpu_begin(self.now, proc, work)
 
     def _advance_cpu(self, node: Node) -> None:
         """Account progress of active CPU bursts on `node` up to `self.now`."""
@@ -285,8 +356,11 @@ class Kernel:
             node.cpu_active[p] -= elapsed * rate
             if node.cpu_active[p] <= _EPS:
                 finished.append(p)
+        tr = self.tracer
         for p in finished:
             del node.cpu_active[p]
+            if tr is not None:
+                tr.on_cpu_end(self.now, p)
             self._ready.append((p, None, None))
 
     # IO -----------------------------------------------------------------------------
@@ -389,6 +463,9 @@ class Kernel:
 
     def _disk_submit(self, disk: Disk, request: _DiskRequest) -> None:
         request.start = self.now
+        tr = self.tracer
+        if tr is not None:
+            tr.on_disk_submit(self.now, disk, request)
         if disk.current is None:
             self._disk_start(disk, request)
         else:
@@ -396,6 +473,7 @@ class Kernel:
 
     def _disk_start(self, disk: Disk, request: _DiskRequest) -> None:
         disk.current = request
+        request.service_start = self.now
         duration = disk.service_time(request, self.now)
         disk.busy_until = self.now + duration
 
@@ -404,6 +482,9 @@ class Kernel:
         disk.current = None
         disk.busy_until = None
         if request is not None:
+            tr = self.tracer
+            if tr is not None:
+                tr.on_disk_complete(self.now, disk, request)
             self._ready.append((request.process, request.result, None))
         if disk.queue:
             self._disk_start(disk, disk.queue.pop(0))
@@ -411,13 +492,18 @@ class Kernel:
     # pipes --------------------------------------------------------------------------------
 
     def _pipe_read(self, proc: Process, pipe: Pipe, nbytes: int) -> None:
+        tr = self.tracer
         if pipe.buffer:
             data = pipe.pull(nbytes)
+            if tr is not None:
+                tr.on_pipe_read(self.now, proc, pipe, len(data))
             self._ready.append((proc, data, None))
             self._service_pipe_writers(pipe)
         elif pipe.writers == 0:
             self._ready.append((proc, b"", None))
         else:
+            if tr is not None:
+                tr.on_pipe_stall_begin(self.now, proc, pipe, "read")
             pipe.read_waiters.append((proc, nbytes))
 
     def _pipe_write(self, proc: Process, pipe: Pipe, data: bytes) -> None:
@@ -435,25 +521,35 @@ class Kernel:
                 self.kill_process(proc)
                 return
         accepted = pipe.push(data)
+        tr = self.tracer
+        if tr is not None:
+            tr.on_pipe_write(self.now, proc, pipe, accepted)
         if accepted:
             self._wake_pipe_readers(pipe)
         if accepted == len(data):
             self._ready.append((proc, accepted, None))
         else:
+            if tr is not None:
+                tr.on_pipe_stall_begin(self.now, proc, pipe, "write")
             pipe.write_waiters.append((proc, data[accepted:], accepted))
 
     def _wake_pipe_readers(self, pipe: Pipe) -> None:
+        tr = self.tracer
         while pipe.read_waiters and (pipe.buffer or pipe.writers == 0):
             proc, nbytes = pipe.read_waiters.pop(0)
             if proc.state == DONE:
                 continue
             data = pipe.pull(nbytes)
+            if tr is not None:
+                tr.on_pipe_stall_end(self.now, proc, len(data))
+                tr.on_pipe_read(self.now, proc, pipe, len(data))
             self._ready.append((proc, data, None))
         if pipe.read_waiters or not pipe.write_waiters:
             return
         self._service_pipe_writers(pipe)
 
     def _service_pipe_writers(self, pipe: Pipe) -> None:
+        tr = self.tracer
         progressed = False
         while pipe.write_waiters and pipe.space() > 0:
             proc, remaining, done = pipe.write_waiters.pop(0)
@@ -462,7 +558,11 @@ class Kernel:
             accepted = pipe.push(remaining)
             progressed = progressed or accepted > 0
             done += accepted
+            if tr is not None and accepted:
+                tr.on_pipe_write(self.now, proc, pipe, accepted)
             if accepted == len(remaining):
+                if tr is not None:
+                    tr.on_pipe_stall_end(self.now, proc, done)
                 self._ready.append((proc, done, None))
             else:
                 pipe.write_waiters.insert(0, (proc, remaining[accepted:], done))
@@ -471,9 +571,12 @@ class Kernel:
             self._wake_pipe_readers(pipe)
 
     def _break_pipe_writers(self, pipe: Pipe) -> None:
+        tr = self.tracer
         waiters, pipe.write_waiters = pipe.write_waiters, []
         for proc, _remaining, _done in waiters:
             if proc.state != DONE:
+                if tr is not None:
+                    tr.on_pipe_stall_end(self.now, proc, _done, broken=True)
                 self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
 
     # open/dup -------------------------------------------------------------------------------
@@ -534,6 +637,7 @@ class Kernel:
             node=node,
             cwd=request.cwd if request.cwd is not None else proc.cwd,
             fds=request.fds,
+            parent=proc,
         )
         self._ready.append((proc, child.pid, None))
 
@@ -542,14 +646,22 @@ class Kernel:
         if child is None:
             self._ready.append((proc, None, NoSuchProcess(str(request.pid))))
             return
+        tr = self.tracer
+        if tr is not None:
+            tr.on_wait_edge(proc, child)
         if child.state == DONE:
             self._ready.append((proc, child.exit_status, None))
         else:
+            if tr is not None:
+                tr.on_wait_begin(self.now, proc, child)
             child.waiters.append(proc)
 
     # network ----------------------------------------------------------------------------------
 
     def _sys_net_send(self, proc: Process, request: NetSendReq) -> None:
+        tr = self.tracer
+        if tr is not None:
+            tr.on_net(self.now, proc, request.dst_node, request.nbytes)
         if self.network is None:
             self._ready.append((proc, None, None))
             return
@@ -602,3 +714,7 @@ class Kernel:
                     self.kill_process(victim)
         if self.network is not None:
             self.network.advance_to(self, self.now)
+        tr = self.tracer
+        if tr is not None:
+            tr.on_tick(self.now, len(self._ready),
+                       sum(len(n.cpu_active) for n in self.nodes.values()))

@@ -1,0 +1,280 @@
+"""Observability tests: tracer invariants, accounting, export schema,
+critical path, engine spans, and the legacy kernel.trace shim."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import FaultPlan, FaultSpec, JashConfig, JashOptimizer, Shell
+from repro.compiler import OptimizerConfig
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    critical_path,
+    dumps_chrome,
+    format_record,
+    render_report,
+    validate_chrome_trace,
+)
+from repro.vos.machines import laptop
+
+PIPELINE = "cat /in.txt | tr -cs A-Za-z '\\n' | sort > /out.txt"
+
+
+def words(n_lines=2000):
+    return b"".join(b"alpha beta%d gamma\n" % (i % 53) for i in range(n_lines))
+
+
+def traced_run(script=PIPELINE, data=None, optimizer=None, faults=None,
+               tracer=None):
+    tracer = tracer if tracer is not None else Tracer()
+    shell = Shell(laptop(), optimizer=optimizer, tracer=tracer, faults=faults)
+    shell.fs.write_bytes("/in.txt", data if data is not None else words())
+    result = shell.run(script)
+    return result, tracer, shell
+
+
+def end_time(record):
+    return record.ts + record.dur
+
+
+class TestTracerInvariants:
+    def test_emission_order_is_monotonic_in_virtual_time(self):
+        _, tracer, _ = traced_run()
+        ends = [end_time(r) for r in tracer.records]
+        assert ends == sorted(ends)
+        assert all(r.ts >= 0 for r in tracer.records)
+
+    def test_op_spans_non_overlapping_per_process(self):
+        """A process blocks on one thing at a time: its cpu/disk/pipe/
+        wait spans must not overlap."""
+        _, tracer, _ = traced_run()
+        by_pid = {}
+        for r in tracer.records:
+            if r.ph == "X" and r.cat in ("cpu", "disk", "pipe", "wait"):
+                by_pid.setdefault(r.pid, []).append(r)
+        assert by_pid, "no op spans recorded"
+        for pid, spans in by_pid.items():
+            spans.sort(key=lambda r: (r.ts, r.ts + r.dur))
+            for prev, cur in zip(spans, spans[1:]):
+                assert cur.ts >= end_time(prev) - 1e-12, (
+                    pid, prev.name, cur.name)
+
+    def test_op_spans_inside_process_span(self):
+        _, tracer, _ = traced_run()
+        proc_span = {}
+        for r in tracer.records:
+            if r.ph == "X" and r.cat == "process":
+                proc_span[r.pid] = r
+        for r in tracer.records:
+            if r.ph == "X" and r.cat in ("cpu", "pipe", "wait"):
+                parent = proc_span[r.pid]
+                assert r.ts >= parent.ts - 1e-12
+                assert end_time(r) <= end_time(parent) + 1e-12
+
+    def test_every_process_gets_spawn_and_exit_records(self):
+        _, tracer, _ = traced_run()
+        spawned = {r.pid for r in tracer.records
+                   if r.cat == "process" and r.ph == "i"}
+        exited = {r.pid for r in tracer.records
+                  if r.cat == "process" and r.ph == "X"}
+        assert spawned == exited
+        assert len(spawned) >= 4  # jash + pipe glue + 3 stages
+
+    def test_zero_records_when_no_tracer_installed(self):
+        before = Tracer.total_records
+        shell = Shell(laptop())
+        shell.fs.write_bytes("/in.txt", words())
+        result = shell.run(PIPELINE)
+        assert result.status == 0
+        assert Tracer.total_records == before
+
+    def test_tracing_does_not_perturb_the_simulation(self):
+        plain = Shell(laptop())
+        plain.fs.write_bytes("/in.txt", words())
+        r_plain = plain.run(PIPELINE)
+        r_traced, _, shell = traced_run()
+        assert r_traced.elapsed == r_plain.elapsed
+        assert shell.fs.read_bytes("/out.txt") == \
+            plain.fs.read_bytes("/out.txt")
+
+    def test_accounting_only_mode_records_nothing(self):
+        _, tracer, _ = traced_run(tracer=Tracer(record_events=False))
+        assert tracer.records == []
+        assert tracer.accounting.totals()["cpu_s"] > 0
+
+
+class TestDeterminism:
+    def test_fixed_seed_exports_byte_identical_traces(self):
+        plans = [FaultPlan(seed=9, rate=0.03, kinds=("disk-error",),
+                           max_faults=2) for _ in range(2)]
+        optimizer_cfg = JashConfig(
+            optimizer=OptimizerConfig(min_input_bytes=1024))
+        exports = []
+        for plan in plans:
+            _, tracer, _ = traced_run(
+                data=words(20000), optimizer=JashOptimizer(optimizer_cfg),
+                faults=plan)
+            exports.append(dumps_chrome(tracer))
+        assert exports[0] == exports[1]
+        assert plans[0].trace() == plans[1].trace()
+
+    def test_syscall_events_off_by_default_on_when_asked(self):
+        _, quiet, _ = traced_run()
+        assert not any(r.cat == "syscall" for r in quiet.records)
+        _, verbose, _ = traced_run(tracer=Tracer(syscall_events=True))
+        assert any(r.cat == "syscall" for r in verbose.records)
+
+
+class TestAccounting:
+    def test_cpu_and_pipe_attribution(self):
+        result, tracer, _ = traced_run()
+        assert result.status == 0
+        acct = tracer.accounting
+        by_name = {st.name: st for st in acct.per_process.values()}
+        for name in ("cat", "tr", "sort"):
+            assert by_name[name].cpu_s > 0, name
+            assert by_name[name].wall_s > 0, name
+        # every pipe balances: reads never exceed writes
+        for ps in acct.pipes.values():
+            assert ps.bytes_read <= ps.bytes_written
+            assert ps.writers and ps.readers
+        # the root shell waits on its children
+        assert by_name["jash"].wait_s > 0
+        assert by_name["jash"].bound() == "child-wait"
+
+    def test_breakdown_covers_wall_clock(self):
+        _, tracer, _ = traced_run()
+        for st in tracer.accounting.per_process.values():
+            parts = st.breakdown()
+            assert parts["other"] >= 0
+            assert sum(parts.values()) == pytest.approx(st.wall_s)
+
+    def test_parent_edges(self):
+        _, tracer, _ = traced_run()
+        acct = tracer.accounting
+        roots = [st for st in acct.per_process.values()
+                 if st.parent is None]
+        assert len(roots) == 1 and roots[0].name == "jash"
+
+
+class TestCriticalPath:
+    def test_names_the_pipeline_chain(self):
+        _, tracer, _ = traced_run()
+        hops = critical_path(tracer.accounting)
+        names = [h.stats.name for h in hops]
+        assert names[-1] == "sort"
+        assert "cat" in names
+
+    def test_render_report_contents(self):
+        _, tracer, _ = traced_run()
+        report = render_report(tracer)
+        assert "critical path" in report
+        assert "sort" in report
+        assert "slowest hop" in report
+
+    def test_report_mentions_faults(self):
+        plan = FaultPlan(specs=(FaultSpec("disk-error", op=1),))
+        result, tracer, _ = traced_run("cat /in.txt > /copy.txt",
+                                       faults=plan)
+        assert plan.fired == 1
+        report = render_report(tracer)
+        assert "injected faults" in report
+        assert "disk-error" in report
+
+
+class TestChromeExport:
+    def test_schema_valid_and_loadable(self):
+        _, tracer, _ = traced_run()
+        blob = dumps_chrome(tracer)
+        obj = json.loads(blob)
+        assert validate_chrome_trace(obj) == []
+        assert obj["displayTimeUnit"] == "ms"
+
+    def test_metadata_names_nodes_and_processes(self):
+        _, tracer, _ = traced_run()
+        obj = chrome_trace(tracer)
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_validator_flags_bad_events(self):
+        assert validate_chrome_trace({"traceEvents": [{"name": "x"}]})
+        assert validate_chrome_trace(
+            {"traceEvents": [{"name": "x", "ph": "X", "ts": 0,
+                              "pid": 1, "tid": 1}]})  # missing dur
+
+
+class TestEngineSpans:
+    def test_jit_compile_and_region_spans(self):
+        cfg = JashConfig(optimizer=OptimizerConfig(min_input_bytes=1024))
+        result, tracer, _ = traced_run(data=words(20000),
+                                       optimizer=JashOptimizer(cfg))
+        assert result.status == 0
+        names = [r.name for r in tracer.records if r.cat == "jit"]
+        assert "jit.compile" in names
+        assert "jit.region" in names
+        region = next(r for r in tracer.records if r.name == "jit.region")
+        assert region.args["decision"] == "optimized"
+        assert "delta" in region.args
+        assert tracer.accounting.regions
+
+    def test_jit_skip_instants(self):
+        result, tracer, _ = traced_run("echo hi",
+                                       optimizer=JashOptimizer())
+        skips = [r for r in tracer.records if r.name == "jit.skip"]
+        assert skips and all(r.args["reason"] for r in skips)
+
+    def test_tx_attempt_rollback_and_fault_records(self):
+        cfg = JashConfig(optimizer=OptimizerConfig(min_input_bytes=1024))
+        plan = FaultPlan(seed=9, rate=0.05, kinds=("disk-error",),
+                         max_faults=2)
+        result, tracer, _ = traced_run(data=words(20000),
+                                       optimizer=JashOptimizer(cfg),
+                                       faults=plan)
+        assert result.status == 0
+        assert plan.fired > 0
+        names = [r.name for r in tracer.records if r.cat == "tx"]
+        assert "tx.attempt" in names
+        assert "tx.commit" in names
+        faults = [r for r in tracer.records if r.cat == "fault"]
+        assert len(faults) == plan.fired
+        for r in faults:
+            assert r.args["op"] > 0
+            assert r.args["source"] in ("spec", "rate")
+        # fault instants interleave at the right virtual times
+        times = [r.ts for r in faults]
+        assert times == [ev.time for ev in plan.log]
+
+
+class TestLegacyShim:
+    def test_kernel_trace_setter_warns_and_formats(self):
+        shell = Shell(laptop())
+        lines = []
+        callback = lines.append
+        with pytest.warns(DeprecationWarning):
+            shell.kernel.trace = callback
+        shell.fs.write_bytes("/in.txt", b"b\na\n")
+        result = shell.run("sort /in.txt")
+        assert result.status == 0
+        assert lines
+        assert any("process" in line and "sort" in line for line in lines)
+        # the shim reads back as the installed callback
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert shell.kernel.trace is callback
+
+    def test_shim_reuses_installed_tracer(self):
+        tracer = Tracer()
+        shell = Shell(laptop(), tracer=tracer)
+        with pytest.warns(DeprecationWarning):
+            shell.kernel.trace = lambda line: None
+        assert shell.kernel.tracer is tracer
+
+    def test_format_record_shapes(self):
+        _, tracer, _ = traced_run()
+        for r in tracer.records[:50]:
+            line = format_record(r)
+            assert line.startswith("[")
+            assert r.name in line
