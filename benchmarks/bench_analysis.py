@@ -1,0 +1,200 @@
+"""S16 — static-analysis dividend: certificate hit rate and the JIT
+compile-time delta with the analyzer on vs off.
+
+The whole-script analyzer (``repro.analysis``) runs once per program
+and hands the JIT signed SafetyCertificates; at run time a certificate
+hit replaces the per-node purity walk with a cheaper pre-screen
+(``cert_probe_cost_s`` vs ``probe_cost_s``).  This benchmark runs a
+workload family under ``JashOptimizer`` twice — ``static_analysis=True``
+and ``False`` — and records:
+
+* the certificate **hit rate** (hits / (hits + misses));
+* the **virtual-time delta** (analysis on vs off): the compile-once
+  dividend, visible because certificate hits charge less probe CPU;
+* the analyzer's own **wall-clock cost** per script (host seconds);
+* the invariant that stdout and produced files are **byte-identical**
+  in both configurations — certificates precompute the runtime purity
+  verdict, they never change a decision.
+
+Run standalone: ``PYTHONPATH=src python benchmarks/bench_analysis.py
+[--smoke]``; or under pytest-benchmark:
+``pytest benchmarks/bench_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:  # script mode without an installed package
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import JashConfig, JashOptimizer, Shell
+from repro.analysis import analyze_program
+from repro.bench import format_table, words_text
+from repro.compiler import OptimizerConfig
+from repro.parser import parse
+from repro.vos.machines import laptop
+
+from common import bench_mb, once, record
+
+#: the workload family: literal pipelines (all certified), dynamic
+#: words (certified — plain reads are pure), a multi-statement script,
+#: and an impure expansion (unsafe certificate, JIT must not expand)
+SCRIPTS = {
+    "wordfreq": (
+        "cat /w.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c"
+        " | sort -rn | head -n 5 > /out.txt"
+    ),
+    "spell-dynamic": (
+        "DICT=/dict\nFILES=/w.txt\n"
+        "cat $FILES | tr A-Z a-z | tr -cs a-z '\\n' | sort -u"
+        " | comm -13 $DICT - > /out.txt"
+    ),
+    "multi-statement": (
+        "grep -c the /w.txt > /c1\n"
+        "wc -l /w.txt > /c2\n"
+        "cat /c1 /c2 > /out.txt"
+    ),
+    "impure-expansion": (
+        "head -n ${n:=3} /w.txt | sort > /out.txt"
+    ),
+}
+
+
+def make_files(n_bytes: int) -> dict[str, bytes]:
+    words = words_text(n_bytes, seed=7)
+    dictionary = b"\n".join(sorted(set(words.lower().split()))) + b"\n"
+    return {"/w.txt": words, "/dict": dictionary}
+
+
+def run_one(script: str, files: dict[str, bytes], static_analysis: bool):
+    """One run; returns (virtual_s, stdout, /out.txt bytes, optimizer)."""
+    optimizer = JashOptimizer(JashConfig(
+        static_analysis=static_analysis,
+        optimizer=OptimizerConfig(min_input_bytes=4096),
+    ))
+    shell = Shell(laptop(), optimizer=optimizer)
+    for path, data in files.items():
+        shell.fs.write_bytes(path, data)
+    result = shell.run(script)
+    assert result.status == 0, (script, result.err)
+    out = shell.fs.read_bytes("/out.txt")
+    return result.elapsed, result.stdout, out, optimizer
+
+
+def collect(n_bytes: int) -> dict:
+    files = make_files(n_bytes)
+    rows = {}
+    for name, script in SCRIPTS.items():
+        t0 = time.perf_counter()
+        analysis = analyze_program(parse(script))
+        analyze_wall = time.perf_counter() - t0
+        on_vt, on_stdout, on_file, on_opt = run_one(script, files, True)
+        off_vt, off_stdout, off_file, off_opt = run_one(script, files, False)
+        rows[name] = {
+            "analyze_wall_s": analyze_wall,
+            "stats": analysis.stats(),
+            "virtual_on_s": on_vt,
+            "virtual_off_s": off_vt,
+            "delta_s": off_vt - on_vt,
+            "cert_hits": on_opt.cert_hits,
+            "cert_misses": on_opt.cert_misses,
+            "hit_rate": on_opt.cert_hit_rate,
+            "identical": (on_stdout == off_stdout and on_file == off_file),
+            "off_used_certs": off_opt.cert_hits,
+        }
+    return {"scripts": rows, "n_bytes": n_bytes}
+
+
+def check(results: dict) -> None:
+    """The acceptance assertions (shared by pytest and --smoke)."""
+    for name, row in results["scripts"].items():
+        # certificates precompute, never change, the engine's decisions
+        assert row["identical"], f"{name}: output differs analyzer on/off"
+        # the ablation config really is the pure JIT
+        assert row["off_used_certs"] == 0, name
+        # every candidate the compile-once pass saw produces a hit
+        assert row["cert_hits"] > 0, f"{name}: no certificate consulted"
+        assert row["hit_rate"] == 1.0, (name, row["hit_rate"])
+        # the cheaper pre-screen is visible on the virtual clock
+        assert row["virtual_on_s"] <= row["virtual_off_s"], name
+    stats = results["scripts"]["impure-expansion"]["stats"]
+    assert stats["unsafe"] >= 1, "impure expansion not certified unsafe"
+
+
+def analysis_table(results: dict) -> tuple[str, dict]:
+    rows = []
+    for name, row in results["scripts"].items():
+        rows.append([
+            name,
+            f"{row['cert_hits']}/{row['cert_hits'] + row['cert_misses']}",
+            f"{row['hit_rate']:.0%}",
+            f"{row['virtual_on_s']:.6f}",
+            f"{row['virtual_off_s']:.6f}",
+            f"{row['delta_s'] * 1e6:+.1f}us",
+            f"{row['analyze_wall_s'] * 1e3:.2f}ms",
+            "yes" if row["identical"] else "NO",
+        ])
+    table = format_table(
+        ["script", "cert hit/total", "hit rate", "virtual on",
+         "virtual off", "delta", "analyze wall", "identical"],
+        rows, title="S16: certificate hit rate and JIT delta "
+                    f"({results['n_bytes'] / 1e6:.1f} MB input)",
+    )
+    return table, results["scripts"]
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def analysis_results():
+    return collect(max(256_000, int(bench_mb() * 1e6 / 16)))
+
+
+def test_analysis_table(analysis_results, benchmark):
+    once(benchmark, lambda: None)
+    table, metrics = analysis_table(analysis_results)
+    record("analysis", table, metrics=metrics)
+
+
+def test_analysis_acceptance(analysis_results, benchmark):
+    once(benchmark, lambda: None)
+    check(analysis_results)
+
+
+# -- standalone / CI smoke ----------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload for CI (~256 KB)")
+    parser.add_argument("--mb", type=float, default=None,
+                        help="workload size in MB (overrides --smoke)")
+    args = parser.parse_args(argv)
+    if args.mb is not None:
+        n_bytes = int(args.mb * 1e6)
+    elif args.smoke:
+        n_bytes = 256_000
+    else:
+        n_bytes = max(256_000, int(bench_mb() * 1e6 / 16))
+    results = collect(n_bytes)
+    table, metrics = analysis_table(results)
+    if args.smoke:
+        print(table)
+    else:
+        record("analysis", table, metrics=metrics)
+    check(results)
+    print("S16: all acceptance checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+# Correct fan-out: both greps run concurrently but write distinct
+# files, and `wait` seals them before the aggregation reads anything.
+# The race detector stays silent.
+grep -c error /logs/a.log > /tmp/a.count &
+grep -c error /logs/b.log > /tmp/b.count &
+wait
+cat /tmp/a.count /tmp/b.count > /tmp/total.count

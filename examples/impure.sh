@@ -1,0 +1,5 @@
+# ${n:=5} assigns a variable *during word expansion*: expanding it
+# early would leak the side effect, so the analyzer issues an unsafe
+# certificate and the JIT falls back to in-order interpretation.
+head -n ${n:=5} /data/in.txt | sort > /data/out.txt
+wc -l /data/out.txt

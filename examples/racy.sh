@@ -1,0 +1,11 @@
+# Intentionally unsafe — the negative example the CI baseline pins.
+# Each statement is individually clean (no syntactic self-clobber), but:
+#  * both sorts write /data/merged concurrently      -> JS3002 (error)
+#  * wc reads it before the job is sealed by a wait  -> JS3003
+#  * $total is read before its assignment            -> JS3001
+sort /data/a > /data/merged &
+sort /data/b > /data/merged
+wc -l /data/merged > /data/count
+wait
+echo $total
+total=done

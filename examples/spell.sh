@@ -1,0 +1,7 @@
+# The spell pipeline (§3.2): $FILES/$DICT are dynamic, so an AOT
+# compiler skips it — but plain variable reads are *pure*, so the JIT's
+# certificate still says safe_parallel and it expands early.
+DICT=/usr/dict
+FILES="$@"
+cat $FILES | tr A-Z a-z | tr -cs a-z '\n' | sort -u |
+    comm -13 $DICT - > /data/misspelled.txt

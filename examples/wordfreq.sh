@@ -1,0 +1,5 @@
+# Top-10 word frequencies — the paper's §2 one-liner family.  Every
+# stage is a known annotated command with literal words: the analyzer
+# certifies the whole pipeline safe_parallel.
+cat /data/book.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -c |
+    sort -rn | head -n 10 > /data/top10.txt

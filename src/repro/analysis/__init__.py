@@ -1,0 +1,46 @@
+"""S16 — whole-script static effect analysis.
+
+The compile-once pass over the shell AST that the JIT (S9) and the AOT
+compiler (S7) consult instead of re-deriving safety per run:
+
+* :mod:`repro.analysis.paths`        — the abstract-path lattice
+  (literal / glob-prefix / expansion-prefix / ⊤);
+* :mod:`repro.analysis.effects`      — per-node effect summaries
+  (abstract file read/write sets, variable def/use sets);
+* :mod:`repro.analysis.envflow`      — reaching definitions over the
+  structured CFG; use-before-def detection;
+* :mod:`repro.analysis.races`        — write-write / read-before-seal /
+  write-under-read conflicts between concurrent statements;
+* :mod:`repro.analysis.certificates` — signed SafetyCertificates
+  (``safe_parallel`` / ``safe_reorder`` / ``unsafe``) keyed by AST node.
+
+Entry point: :func:`analyze_program`; CLI: ``jash check``.
+"""
+
+from .candidates import pipeline_stages, purity_reason
+from .certificates import (
+    ANALYZER_VERSION,
+    SAFE_PARALLEL,
+    SAFE_REORDER,
+    UNKNOWN,
+    UNSAFE,
+    AnalysisResult,
+    SafetyCertificate,
+    analyze_program,
+    make_certificate,
+)
+from .effects import Conflict, EffectAnalyzer, EffectSummary, conflicts
+from .envflow import VarUse, use_before_def
+from .paths import AbstractPath, TOP, may_alias, word_to_path
+from .races import RaceFinding, detect_races
+
+__all__ = [
+    "ANALYZER_VERSION", "SAFE_PARALLEL", "SAFE_REORDER", "UNKNOWN", "UNSAFE",
+    "AnalysisResult", "SafetyCertificate", "analyze_program",
+    "make_certificate",
+    "Conflict", "EffectAnalyzer", "EffectSummary", "conflicts",
+    "VarUse", "use_before_def",
+    "AbstractPath", "TOP", "may_alias", "word_to_path",
+    "RaceFinding", "detect_races",
+    "pipeline_stages", "purity_reason",
+]

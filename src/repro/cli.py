@@ -6,6 +6,7 @@ Subcommands::
     jash run -c 'cat f | sort' --trace OUT.json  # + Chrome trace export
     jash profile SCRIPT.sh                  # critical-path report
     jash lint SCRIPT.sh                     # static diagnostics
+    jash check SCRIPT.sh [--format json]    # whole-script effect analysis
     jash explain 'cut -c1-4 | sort -rn'     # spec-backed explanation
     jash parse -c 'if true; then echo x; fi'  # AST dump
     jash infer sort -rn                     # black-box spec inference
@@ -69,6 +70,14 @@ def _main(argv=None) -> int:
     lint_p = sub.add_parser("lint", help="static analysis of a script")
     lint_p.add_argument("script", nargs="?")
     lint_p.add_argument("-c", dest="inline")
+
+    check_p = sub.add_parser(
+        "check", help="whole-script effect analysis: safety certificates, "
+                      "races, def-use flow, plus all lint diagnostics")
+    check_p.add_argument("script", nargs="?")
+    check_p.add_argument("-c", dest="inline")
+    check_p.add_argument("--format", choices=("text", "json"),
+                         default="text")
 
     explain_p = sub.add_parser("explain", help="explain a pipeline")
     explain_p.add_argument("pipeline")
@@ -146,6 +155,9 @@ def _main(argv=None) -> int:
             print(diag)
         return 1 if any(d.severity == "error" for d in diagnostics) else 0
 
+    if args.cmd == "check":
+        return _check(args)
+
     if args.cmd == "explain":
         from .lint import explain
 
@@ -177,6 +189,75 @@ def _main(argv=None) -> int:
         return 0
 
     return 2
+
+
+def _check(args) -> int:
+    """``jash check``: run the S16 analyzer + all lint checks and render
+    a whole-script safety report."""
+    import json
+
+    from .analysis import analyze_program
+    from .lint import lint
+    from .parser import parse
+
+    text = _script_text(args)
+    result = analyze_program(parse(text))
+    diagnostics = lint(text)
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+
+    if args.format == "json":
+        payload = result.to_dict()
+        payload["diagnostics"] = [
+            {"code": d.code, "severity": d.severity,
+             "message": d.message, "context": d.context}
+            for d in diagnostics
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if errors else 0
+
+    stats = result.stats()
+    print(f"statements analyzed: {stats['statements']}")
+    print(f"certificates: {stats['certificates']} "
+          f"(safe_parallel {stats['safe_parallel']}, "
+          f"safe_reorder {stats['safe_reorder']}, "
+          f"unsafe {stats['unsafe']})")
+    for cert in result.cert_list:
+        print(f"  [{cert.verdict}] `{cert.node_text}` — {cert.reason} "
+              f"({cert.digest})")
+        for hazard in cert.hazards:
+            print(f"      hazard: {hazard}")
+    if result.statements:
+        print("effects:")
+        for stmt in result.statements:
+            s = stmt.summary
+            reads = ", ".join(sorted(p.display() for p in s.reads)) or "-"
+            writes = ", ".join(sorted(p.display() for p in s.writes)) or "-"
+            mark = " &" if stmt.is_async else ""
+            opaque = " (opaque)" if s.opaque else ""
+            print(f"  `{stmt.text}`{mark}: reads {reads}; writes "
+                  f"{writes}{opaque}")
+    if result.races:
+        print("races:")
+        for race in result.races:
+            print(f"  {race.display()}")
+    if result.use_before_def:
+        print("use-before-def:")
+        for use in result.use_before_def:
+            print(f"  ${use.name} in `{_unparse_node(use.node)}`")
+    if diagnostics:
+        print("diagnostics:")
+        for diag in diagnostics:
+            print(f"  {diag}")
+    print(f"{errors} error(s), "
+          f"{sum(1 for d in diagnostics if d.severity == 'warning')} "
+          f"warning(s)")
+    return 1 if errors else 0
+
+
+def _unparse_node(node) -> str:
+    from .parser.unparse import unparse
+
+    return unparse(node)
 
 
 def _script_text(args) -> str:

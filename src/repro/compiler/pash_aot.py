@@ -55,6 +55,13 @@ class PashConfig:
     #: straight from its fixed width to the interpreter.
     transactional: bool = False
     retry: RetryPolicy = DEFAULT_REGION_POLICY
+    #: consult the whole-script analyzer (repro.analysis, S16) during the
+    #: AOT pass: ``unsafe`` certificates reject a node before region
+    #: extraction is even attempted (the verdicts coincide — an impure
+    #: expansion always involves dynamic words, which AOT extraction
+    #: rejects too — so decisions are unchanged; the certificate just
+    #: answers first and records why)
+    static_analysis: bool = True
 
 
 class PashOptimizer:
@@ -72,13 +79,27 @@ class PashOptimizer:
         self.events: list[AotEvent] = []
         self._approved: set[int] = set()
         self._compiled = False
+        self._analysis = None
+        self.cert_hits = 0
 
-    def compile_program(self, program: Command) -> None:
+    def compile_program(self, program: Command, tracer=None,
+                        now: float = 0.0) -> None:
         """The ahead-of-time pass: walk the static AST and mark the
-        statement-level pipelines/commands whose regions extract."""
+        statement-level pipelines/commands whose regions extract.
+        Static SafetyCertificates (S16) are checked first; only nodes
+        they do not cover go through region extraction."""
         from ..parser.ast_nodes import walk
 
         self._compiled = True
+        certs: dict[int, object] = {}
+        if self.config.static_analysis:
+            from ..analysis import analyze_program
+
+            self._analysis = analyze_program(program, self.config.library)
+            certs = self._analysis.certificates
+            if tracer is not None:
+                tracer.instant("analysis", "analysis.run", now,
+                               engine="pash", **self._analysis.stats())
         inside_pipeline: set[int] = set()
         for node in walk(program):
             if isinstance(node, Pipeline):
@@ -89,6 +110,16 @@ class PashOptimizer:
                 isinstance(node, SimpleCommand)
                 and id(node) not in inside_pipeline
             ):
+                cert = certs.get(id(node))
+                if cert is not None and not cert.safe:
+                    self.cert_hits += 1
+                    self.events.append(AotEvent(
+                        unparse(node), "skipped",
+                        f"static certificate: {cert.reason} [{cert.digest}]",
+                    ))
+                    continue
+                if cert is not None:
+                    self.cert_hits += 1
                 region = extract_region(node, self.config.library)
                 if region is None:
                     self.events.append(AotEvent(

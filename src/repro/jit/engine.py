@@ -65,6 +65,15 @@ class JashConfig:
     #: CPU seconds for the cheap pre-screen (purity walk + expansion +
     #: stat): charged on every candidate node
     probe_cost_s: float = 2e-5
+    #: reduced pre-screen cost when a static SafetyCertificate already
+    #: answered the purity question at compile time (expansion + stat
+    #: remain; the walk is gone) — the compile-once dividend
+    cert_probe_cost_s: float = 4e-6
+    #: run the whole-script static analyzer (repro.analysis, S16) in
+    #: ``compile_program`` and consult its certificates before the
+    #: runtime purity walk; ``False`` restores pure-JIT behaviour
+    #: (the ablation the analysis benchmark measures)
+    static_analysis: bool = True
     #: CPU seconds for a full compilation (region lowering + cost-model
     #: search): charged only once the pre-screen says it may pay off —
     #: "Jash can determine in the moment whether it is even worth trying
@@ -88,6 +97,37 @@ class JashOptimizer:
         self.optimizer = ResourceAwareOptimizer(self.config.optimizer)
         self.events: list[JitEvent] = []
         self._pure_commands = self.config.library.pure_read_only_commands()
+        #: static analysis state (repro.analysis): certificates keyed by
+        #: AST node identity, filled by :meth:`compile_program`
+        self._analysis = None
+        self._certs: dict[int, object] = {}
+        self._programs: list = []  # keep analyzed ASTs alive (id-keyed certs)
+        self.cert_hits = 0
+        self.cert_misses = 0
+
+    # -- the compile-once pass ------------------------------------------------
+
+    def compile_program(self, program: Command, tracer=None, now: float = 0.0):
+        """Run the S16 whole-script analyzer and cache its certificates.
+
+        Called by :class:`repro.shell.Shell` before execution (the same
+        hook the AOT compiler uses).  With ``static_analysis=False``
+        this is a no-op and the engine behaves exactly as the pure JIT.
+        """
+        if not self.config.static_analysis:
+            return
+        from ..analysis import analyze_program
+
+        result = analyze_program(
+            program, self.config.library,
+            allow_pure_cmdsub=self.config.allow_pure_cmdsub,
+            pure_commands=self._pure_commands)
+        self._analysis = result
+        self._certs.update(result.certificates)
+        self._programs.append(program)
+        if tracer is not None:
+            tracer.instant("analysis", "analysis.run", now,
+                           **result.stats())
 
     # -- the hook -------------------------------------------------------------
 
@@ -104,18 +144,41 @@ class JashOptimizer:
             return None
             yield  # pragma: no cover - generator shape
 
-        # 1. soundness: early expansion must be side-effect free
-        impure_reason = purity_reason(stages_ast,
-                                      self.config.allow_pure_cmdsub,
-                                      self._pure_commands)
-        if impure_reason is not None:
-            self._skip(text, f"unsafe early expansion: {impure_reason}",
-                       tracer=tracer, proc=proc)
-            return None
+        # 1. soundness: early expansion must be side-effect free.  The
+        # static certificate answers this without a runtime walk; only a
+        # miss (a node the compile-once pass never saw, e.g. parsed at
+        # run time by trap/eval) falls back to the purity analysis.
+        probe_cost = self.config.probe_cost_s
+        cert = self._certs.get(id(node))
+        if cert is not None:
+            self.cert_hits += 1
+            if tracer is not None:
+                tracer.instant("jit", "jit.cert_hit", kernel.now, proc,
+                               command=text, verdict=cert.verdict)
+            if not cert.safe:
+                self._skip(text, f"unsafe early expansion: {cert.reason} "
+                                 f"[static certificate {cert.digest}]",
+                           tracer=tracer, proc=proc)
+                return None
+            probe_cost = self.config.cert_probe_cost_s
+        else:
+            if self._analysis is not None:
+                self.cert_misses += 1
+                if tracer is not None:
+                    tracer.instant("jit", "jit.cert_miss", kernel.now, proc,
+                                   command=text)
+            impure_reason = purity_reason(stages_ast,
+                                          self.config.allow_pure_cmdsub,
+                                          self._pure_commands)
+            if impure_reason is not None:
+                self._skip(text, f"unsafe early expansion: {impure_reason}",
+                           tracer=tracer, proc=proc)
+                return None
 
         compile_start = kernel.now
-        # charge the cheap pre-screen (expansion + stat)
-        yield from proc.cpu(self.config.probe_cost_s)
+        # charge the cheap pre-screen (expansion + stat; the purity walk
+        # only when no certificate covered it)
+        yield from proc.cpu(probe_cost)
 
         # 2. early expansion with full runtime information
         region = yield from expand_region(interp, proc, stages_ast,
@@ -277,12 +340,24 @@ class JashOptimizer:
                    if e.decision in ("optimized", "degraded"))
 
     @property
+    def cert_hit_rate(self) -> float:
+        """Fraction of candidate lookups answered by a static
+        certificate (0.0 when the analyzer never ran)."""
+        total = self.cert_hits + self.cert_misses
+        return self.cert_hits / total if total else 0.0
+
+    @property
     def degraded_count(self) -> int:
         return sum(1 for e in self.events if e.decision == "degraded"
                    or (e.decision == "interpreted" and e.degraded))
 
     def report(self) -> str:
         lines = []
+        if self._analysis is not None:
+            lines.append(
+                f"[static analysis] {self.cert_hits} certificate hits, "
+                f"{self.cert_misses} misses "
+                f"(hit rate {self.cert_hit_rate:.0%})")
         for event in self.events:
             lines.append(f"[{event.decision:>11}] {event.node_text}")
             lines.append(f"              {event.reason}")

@@ -10,46 +10,14 @@ from __future__ import annotations
 
 from typing import Optional
 
+# the candidate-shape and purity checks live in repro.analysis so the
+# static analyzer and the JIT pre-screen can never diverge; re-exported
+# here for the engine and the incremental hook
+from ..analysis.candidates import pipeline_stages, purity_reason  # noqa: F401
 from ..annotations.model import SpecLibrary
 from ..dfg.from_ast import Region, region_from_argvs
-from ..parser.ast_nodes import Command, Pipeline, SimpleCommand
+from ..parser.ast_nodes import SimpleCommand
 from ..semantics.expansion import expand_word_single, expand_words
-from ..semantics.purity import check_word, check_words
-
-
-def pipeline_stages(node: Command) -> Optional[list[SimpleCommand]]:
-    """The simple-command stages of a flat pipeline; None when the node
-    has shapes the dataflow fragment does not cover."""
-    if isinstance(node, SimpleCommand):
-        stages = [node]
-    elif isinstance(node, Pipeline) and not node.negated:
-        if not all(isinstance(c, SimpleCommand) for c in node.commands):
-            return None
-        stages = list(node.commands)
-    else:
-        return None
-    for stage in stages:
-        if stage.assigns:
-            return None
-        for redirect in stage.redirects:
-            if redirect.op in ("<<", "<<-", "<&", ">&"):
-                return None
-    return stages
-
-
-def purity_reason(stages: list[SimpleCommand], allow_pure_cmdsub: bool = False,
-                  pure_commands: frozenset = frozenset()) -> Optional[str]:
-    """Why early expansion would be unsound, or None when it is safe."""
-    for stage in stages:
-        report = check_words(stage.words, allow_pure_cmdsub, pure_commands)
-        if not report.pure:
-            return "; ".join(report.reasons)
-        for redirect in stage.redirects:
-            report = check_word(redirect.target, allow_pure_cmdsub,
-                                pure_commands)
-            if not report.pure:
-                return "; ".join(report.reasons)
-    return None
 
 
 def expand_region(interp, proc, stages: list[SimpleCommand],

@@ -1,6 +1,7 @@
 """S13 — heuristic support: static lint checks, JIT-time misuse
 detection, spec-driven command explanation, and the shell tutor."""
 
+from . import semantic  # noqa: F401  (registers the analysis-backed checks)
 from .checks import Diagnostic, lint
 from .explain import CHECK_EXPLANATIONS, explain, explain_check, explain_command
 from .misuse import Finding, MisuseConfig, MisuseGuard

@@ -39,6 +39,8 @@ class Diagnostic:
     severity: str  # "error" | "warning" | "info"
     message: str
     context: str = ""
+    #: the AST node the diagnostic is anchored to (position sorting)
+    node: object = None
 
     def __str__(self) -> str:
         ctx = f" [{self.context}]" if self.context else ""
@@ -80,7 +82,7 @@ def check_unquoted_expansion(program: Command) -> Iterator[Diagnostic]:
                     "JS2086", "info",
                     f"unquoted expansion of {name!r} is subject to word "
                     f"splitting and globbing; double-quote it",
-                    unparse_word(word),
+                    unparse_word(word), node=node,
                 )
 
 
@@ -101,7 +103,7 @@ def check_dangerous_unquoted(program: Command) -> Iterator[Diagnostic]:
                     "JS2115", "warning",
                     f"{argv0} with unquoted {name!r}: an empty or "
                     f"space-containing value changes which files are removed",
-                    unparse_word(word),
+                    unparse_word(word), node=node,
                 )
 
 
@@ -124,7 +126,7 @@ def check_useless_cat(program: Command) -> Iterator[Diagnostic]:
                 "JS2002", "info",
                 "useless cat: consider `cmd < file` (saves one process; "
                 "also lets the optimizer see the input file directly)",
-                unparse_word(first.words[1]),
+                unparse_word(first.words[1]), node=node,
             )
 
 
@@ -143,6 +145,7 @@ def check_read_without_r(program: Command) -> Iterator[Diagnostic]:
             yield Diagnostic(
                 "JS2162", "info",
                 "read without -r will mangle backslashes",
+                node=node,
             )
 
 
@@ -161,6 +164,7 @@ def check_cd_no_guard(program: Command) -> Iterator[Diagnostic]:
                     "JS2164", "info",
                     "cd without a guard: use `cd ... || exit` "
                     "(or set -e) so failures do not cascade",
+                    node=node,
                 )
             return
         if isinstance(node, CommandList):
@@ -202,12 +206,12 @@ def check_clobber_input(program: Command) -> Iterator[Diagnostic]:
                     reads.add(target)
                 elif redirect.op in (">", ">>", ">|"):
                     writes.add(target)
-        for path in reads & writes:
+        for path in sorted(reads & writes):
             yield Diagnostic(
                 "JS2094", "error",
                 f"{path!r} is both read and truncated by this pipeline: "
                 f"the input is destroyed before it is fully read",
-                path,
+                path, node=node,
             )
 
 
@@ -220,6 +224,7 @@ def check_backticks(program: Command) -> Iterator[Diagnostic]:
                 "JS2006", "info",
                 "backtick command substitution: prefer $(...) "
                 "(nests and quotes sanely)",
+                node=node,
             )
 
 
@@ -242,6 +247,7 @@ def check_glob_in_for(program: Command) -> Iterator[Diagnostic]:
                                 "JS2045", "warning",
                                 "for x in $(ls ...): filenames with spaces "
                                 "break; iterate a glob instead",
+                                node=node,
                             )
 
 
@@ -259,6 +265,7 @@ def check_var_assigned_spaces(program: Command) -> Iterator[Diagnostic]:
                 "JS1068", "error",
                 f"`{w0.literal_value()} = ...` runs the command "
                 f"{w0.literal_value()!r}; remove the spaces to assign",
+                node=node,
             )
 
 
@@ -336,17 +343,27 @@ def check_unchecked_failure(program: Command) -> Iterator[Diagnostic]:
                 f"{argv[0]} reads files and can fail, but this pipeline "
                 f"discards its exit status; set -o pipefail (or set -e) "
                 f"so a producer failure is not mistaken for short input",
-                " ".join(argv),
+                " ".join(argv), node=node,
             )
             break  # one diagnostic per pipeline
 
 
 def lint(source: str) -> list[Diagnostic]:
-    """Run every registered check over a script."""
+    """Run every registered check over a script.
+
+    The order is deterministic across runs and interpreter processes
+    (hash randomization cannot reorder it): severity first, then the
+    anchor node's position in the AST walk, then code and message."""
     program = parse(source)
     diagnostics: list[Diagnostic] = []
     for fn in DIAGNOSTIC_CHECKS:
         diagnostics.extend(fn(program))
     severity_rank = {"error": 0, "warning": 1, "info": 2}
-    diagnostics.sort(key=lambda d: (severity_rank[d.severity], d.code))
+    position = {id(node): i for i, node in enumerate(walk(program))}
+    unanchored = len(position)
+    diagnostics.sort(key=lambda d: (
+        severity_rank[d.severity],
+        position.get(id(d.node), unanchored),
+        d.code, d.message, d.context,
+    ))
     return diagnostics

@@ -28,6 +28,35 @@ CHECK_EXPLANATIONS = {
         "failure mode: inject a disk-error into the producer and the "
         "unguarded pipeline still reports success."
     ),
+    "JS3001": (
+        "JS3001 use-before-def.  The static analyzer (repro.analysis) "
+        "runs reaching definitions over the script's control flow: a "
+        "variable read is flagged when *no* assignment can reach it, "
+        "although the script does assign it somewhere.  The two common "
+        "causes are reading a variable that is only assigned later, and "
+        "the subshell gotcha — `echo x | read v; echo $v` assigns v in "
+        "a pipeline stage, which POSIX runs in a subshell, so the "
+        "assignment never escapes.  Variables the script never assigns "
+        "are assumed to come from the environment and are not flagged."
+    ),
+    "JS3002": (
+        "JS3002 concurrent write-write race.  A background job (`cmd &`) "
+        "keeps running while the statements after it execute, until a "
+        "`wait` seals it.  When the analyzer's effect summaries show the "
+        "job and an overlapping statement may write the same file, the "
+        "final contents depend on scheduling — bytes may interleave or "
+        "one writer may silently lose.  The syntactic self-clobber check "
+        "(JS2094) cannot see this: each statement is individually clean. "
+        "Serialize the writers or give each its own output file."
+    ),
+    "JS3003": (
+        "JS3003 unsealed region output.  A statement consumes (or "
+        "rewrites) a file a still-running background job writes (or "
+        "reads): the reader may observe a partial region output because "
+        "nothing orders it after the job finishes.  Insert `wait` "
+        "between the job and the dependent statement so the file is "
+        "sealed before it is consumed."
+    ),
 }
 
 
@@ -38,7 +67,10 @@ def explain_check(code: str) -> str:
         return text
     for fn in DIAGNOSTIC_CHECKS:
         doc = (fn.__doc__ or "").strip()
-        if doc.startswith(code):
+        # match the code anywhere in the summary line: docstrings often
+        # lead with prose ("Reaching definitions (JS3001): ...")
+        first_line = doc.splitlines()[0] if doc else ""
+        if code in first_line:
             return doc
     return f"{code}: no explanation available"
 

@@ -1,0 +1,75 @@
+"""Semantic lints backed by the whole-script analyzer (S16).
+
+The syntactic checks in :mod:`repro.lint.checks` look at one node at a
+time; these consume the interprocedural facts ``repro.analysis``
+computes — reaching definitions over the CFG, per-statement effect
+summaries, and conflicts between concurrently-executing statements:
+
+* **JS3001** — a variable is read at a point no definition can reach,
+  although the script does define it (later, or only inside a subshell:
+  the ``echo x | read v; echo $v`` gotcha);
+* **JS3002** — two concurrently-running statements may write the same
+  file (corrupted or order-dependent output);
+* **JS3003** — a statement reads a file a still-running background job
+  writes (partial output observed before ``wait`` seals the region), or
+  rewrites a file a running job still reads.
+
+They register through the same ``@check`` hook as the syntactic
+checks, so ``lint()`` reports everything in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..analysis.envflow import use_before_def
+from ..analysis.races import detect_races
+from ..parser.ast_nodes import Command
+from ..parser.unparse import unparse
+from .checks import Diagnostic, check
+
+
+@check
+def check_use_before_def(program: Command) -> Iterator[Diagnostic]:
+    """Reaching definitions (JS3001): a variable the script defines is
+    read at a point no definition can reach."""
+    for use in use_before_def(program):
+        yield Diagnostic(
+            "JS3001", "warning",
+            f"${use.name} is read before any definition can reach it: "
+            f"the assignment happens later, or in a subshell "
+            f"(pipeline stage, $(...), or background job) whose "
+            f"variables do not escape",
+            unparse(use.node), node=use.node,
+        )
+
+
+@check
+def check_concurrent_conflicts(program: Command) -> Iterator[Diagnostic]:
+    """Race detection (JS3002, JS3003): a background job's file effects
+    overlap a statement that runs before ``wait`` seals the job."""
+    for race in detect_races(program):
+        if race.kind == "write-write":
+            yield Diagnostic(
+                "JS3002", "error",
+                f"concurrent writers to {race.path}: `{race.job_text} &` "
+                f"is still running while `{race.stmt_text}` writes the "
+                f"same file; the result depends on scheduling",
+                race.path, node=race.stmt_node,
+            )
+        elif race.kind == "read-before-seal":
+            yield Diagnostic(
+                "JS3003", "warning",
+                f"{race.path} is read before the background job writing "
+                f"it is sealed: `{race.stmt_text}` may observe partial "
+                f"output of `{race.job_text} &`; insert `wait` first",
+                race.path, node=race.stmt_node,
+            )
+        else:  # write-under-read
+            yield Diagnostic(
+                "JS3003", "warning",
+                f"{race.path} is rewritten while the background job "
+                f"`{race.job_text} &` may still be reading it; "
+                f"insert `wait` before `{race.stmt_text}`",
+                race.path, node=race.stmt_node,
+            )

@@ -43,6 +43,7 @@ class TraceRecord:
     name: str
     cat: str      # "process" | "cpu" | "disk" | "pipe" | "wait" | "sched"
                   # | "net" | "fault" | "syscall" | "jit" | "aot" | "tx"
+                  # | "analysis"
                   # | "dshell"
     ph: str       # SPAN | INSTANT | COUNTER
     ts: float     # virtual seconds (span start)

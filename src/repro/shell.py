@@ -95,8 +95,10 @@ class Shell:
         virtual time the run consumed."""
         program = parse(script)
         if self.optimizer is not None and hasattr(self.optimizer, "compile_program"):
-            # AOT engines (PaSh) preprocess the script before it runs
-            self.optimizer.compile_program(program)
+            # compile-once engines (PaSh AOT, Jash static analysis)
+            # preprocess the script before it runs
+            self.optimizer.compile_program(program, tracer=self.kernel.tracer,
+                                           now=self.kernel.now)
         if self.persist_state and self._state is not None:
             state = self._state
             if args is not None:

@@ -98,3 +98,43 @@ class TestPureCmdsubAllowance:
         word = first_arg("x $(grep -c a f)")
         assert check_word(word, allow_pure_cmdsub=True,
                           pure_commands=self.PURE).pure
+
+
+class TestEdgeCases:
+    """Corners where a shallow walk would get the verdict wrong."""
+
+    PURE = DEFAULT_LIBRARY.pure_read_only_commands()
+
+    def test_cmdsub_nested_inside_pure_cmdsub(self):
+        # the outer $(wc ...) is read-only, but its operand hides an
+        # inner substitution running a non-read-only command: the walk
+        # must recurse into words, not stop at the outer command name
+        word = first_arg("x $(wc -l $(rm -rf /data))")
+        assert not check_word(word, allow_pure_cmdsub=True,
+                              pure_commands=self.PURE).pure
+
+    def test_pure_cmdsub_nested_in_pure_cmdsub(self):
+        # both the outer and the inner command are registered read-only:
+        # the whole nested substitution is side-effect free
+        word = first_arg("x $(wc -l $(grep -c a f))")
+        assert check_word(word, allow_pure_cmdsub=True,
+                          pure_commands=self.PURE).pure
+
+    def test_augmented_assignment_in_arith(self):
+        report = check_word(first_arg("x $(( x += 1 ))"))
+        assert not report.pure
+        assert any("assign" in r for r in report.reasons), report.reasons
+
+    @pytest.mark.parametrize("op", ["-=", "*=", "/=", "%="])
+    def test_other_augmented_assignments(self, op):
+        assert not check_word(first_arg(f"x $(( x {op} 1 ))")).pure
+
+    def test_abort_param_inside_double_quotes(self):
+        # quoting does not neutralize ${x:?msg}: the expansion itself
+        # may abort the shell regardless of quoting context
+        report = check_word(first_arg('x "${x:?msg}"'))
+        assert not report.pure
+        assert any("abort" in r for r in report.reasons), report.reasons
+
+    def test_assign_param_inside_double_quotes(self):
+        assert not check_word(first_arg('x "pre ${v:=1} post"')).pure

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI gate: run ``jash check --format json`` over every ``examples/*.sh``
+script and fail on *new* error-severity diagnostics.
+
+Known errors (the intentionally-racy negative examples) are pinned in
+``tools/check_baseline.json``; run with ``--update`` after deliberately
+changing an example to regenerate it.
+
+Usage::
+
+    python tools/check_examples.py           # gate (exit 1 on new errors)
+    python tools/check_examples.py --update  # rewrite the baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "tools" / "check_baseline.json"
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def collect() -> dict[str, list[str]]:
+    """Per-example sorted list of error-severity diagnostic codes."""
+    from repro.analysis import analyze_program
+    from repro.lint import lint
+    from repro.parser import parse
+
+    out: dict[str, list[str]] = {}
+    scripts = sorted((REPO / "examples").glob("*.sh"))
+    if not scripts:
+        raise SystemExit("no examples/*.sh scripts found")
+    for script in scripts:
+        text = script.read_text()
+        # the analyzer must at least complete on every example
+        analyze_program(parse(text))
+        errors = sorted(d.code for d in lint(text) if d.severity == "error")
+        out[script.name] = errors
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current state")
+    args = parser.parse_args()
+
+    current = collect()
+    if args.update:
+        BASELINE.write_text(json.dumps(current, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"baseline updated: {BASELINE.relative_to(REPO)}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    failures = []
+    for name, errors in current.items():
+        known = baseline.get(name, [])
+        new = [code for code in errors if code not in known]
+        if new:
+            failures.append((name, new))
+    for name, new in failures:
+        print(f"FAIL {name}: new error diagnostics {new} "
+              f"(baseline: {baseline.get(name, [])})")
+    if failures:
+        print("re-run with --update only if the errors are intentional")
+        return 1
+    total = sum(len(e) for e in current.values())
+    print(f"ok: {len(current)} example scripts checked, "
+          f"{total} known error(s), 0 new")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
