@@ -93,6 +93,30 @@ def _main(argv=None) -> int:
     infer_p = sub.add_parser("infer", help="infer a command's spec")
     infer_p.add_argument("argv", nargs="+")
 
+    diff_p = sub.add_parser(
+        "difftest",
+        help="differential conformance campaign vs the host /bin/sh")
+    diff_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    diff_p.add_argument("--count", type=int, default=200,
+                        help="number of generated scripts (default 200)")
+    diff_p.add_argument("--profile", default="default", dest="grammar_profile",
+                        help="grammar profile (see `jash difftest --list-profiles`)")
+    diff_p.add_argument("--list-profiles", action="store_true",
+                        help="list grammar profiles and exit")
+    diff_p.add_argument("--minimize", action="store_true",
+                        help="delta-debug each divergence to a minimal script")
+    diff_p.add_argument("--save-corpus", action="store_true",
+                        help="write minimized divergences to tests/corpus/divergences/")
+    diff_p.add_argument("--shell", default=None,
+                        help="host shell binary (default: sh on PATH)")
+    diff_p.add_argument("--baseline", default=None,
+                        help="known-divergence baseline JSON (fail only on new ones)")
+    diff_p.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with this campaign's divergences")
+    diff_p.add_argument("--show", type=int, default=10, metavar="N",
+                        help="print at most N divergences (default 10)")
+
     args = parser.parse_args(argv)
 
     if args.cmd == "run":
@@ -188,7 +212,84 @@ def _main(argv=None) -> int:
             print(f"  evidence: {line}")
         return 0
 
+    if args.cmd == "difftest":
+        return _difftest(args)
+
     return 2
+
+
+def _difftest(args) -> int:
+    """``jash difftest``: generate seeded scripts, run them in both
+    shells, and report divergences (optionally minimized / baselined)."""
+    from pathlib import Path
+
+    from . import difftest as dt
+    from .difftest import runner as dt_runner
+
+    if args.list_profiles:
+        for name in dt.profiles():
+            print(name)
+        return 0
+
+    if dt_runner.HOST_SH is None and args.shell is None:
+        print("difftest: no host /bin/sh available; nothing to compare against",
+              file=sys.stderr)
+        return 0
+
+    cases = dt.generate_cases(args.seed, args.count, args.grammar_profile)
+    result = dt.run_campaign(cases, sh=args.shell)
+    print(f"difftest: {result.agreed}/{result.total} agreed "
+          f"(profile={args.grammar_profile}, seed={args.seed})")
+
+    divergences = result.divergences
+    if args.minimize and divergences:
+        minimized = []
+        for d in divergences:
+            reduced = dt.minimize(d.case, sh=args.shell)
+            # re-run so the reported outcomes describe the reduced case
+            minimized.append(dt.run_case(reduced, sh=args.shell) or d)
+        divergences = minimized
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = dt.load_baseline(baseline_path) if (
+        args.baseline or args.update_baseline) else {}
+    new, known = (dt.split_new(divergences, baseline)
+                  if baseline else (divergences, []))
+    if known:
+        print(f"difftest: {len(known)} known divergence(s) in baseline")
+
+    for d in new[:args.show]:
+        print(f"--- {d.case.ident} [{dt.fingerprint(d.case)}]: {d.reason}")
+        print(d.case.script)
+        if d.case.files:
+            for name in sorted(d.case.files):
+                print(f"  file {name}: {d.case.files[name]!r}")
+        print(f"  virtual: status={d.virtual.status} "
+              f"stdout={d.virtual.stdout[:120]!r}")
+        print(f"  host:    status={d.host.status} "
+              f"stdout={d.host.stdout[:120]!r}")
+    if len(new) > args.show:
+        print(f"... and {len(new) - args.show} more")
+
+    if args.save_corpus:
+        for d in new:
+            host = d.host
+            entry = dt.CorpusEntry(
+                name=d.case.ident, profile=d.case.profile, reason=d.reason,
+                script=d.case.script, files=d.case.files,
+                expect_status=host.status, expect_stdout=host.stdout)
+            path = dt.write_entry(entry)
+            print(f"difftest: saved {path}")
+
+    if args.update_baseline:
+        path = dt.save_baseline(divergences, baseline_path)
+        print(f"difftest: baseline updated -> {path}")
+        return 0
+
+    if new:
+        print(f"difftest: {len(new)} NEW divergence(s)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _check(args) -> int:

@@ -15,6 +15,7 @@ from .base import (
     parse_flags,
     write_err,
 )
+from .bre import RegexTranslationError, bre_to_python, compile_posix
 
 # ---------------------------------------------------------------------------
 # tr
@@ -155,13 +156,14 @@ def tr(proc: Process, argv: list[str]):
 
 @command("grep")
 def grep(proc: Process, argv: list[str]):
-    """grep [-vicnqF] [-m NUM] [-e PATTERN] [PATTERN] [FILE...].
+    """grep [-vicnqFEx] [-m NUM] [-e PATTERN] [PATTERN] [FILE...].
 
-    Patterns are interpreted with Python's `re` (a documented superset of
-    POSIX BRE for the fragment our corpus uses).
+    Patterns are POSIX BREs by default (`+ ? |` and unescaped `{` are
+    literal), EREs with -E, fixed strings with -F; see
+    :mod:`repro.commands.bre` for the translation to Python `re`.
     """
     try:
-        opts, operands = parse_flags(argv, "vicnqFlx", with_value="em")
+        opts, operands = parse_flags(argv, "vicnqFlxE", with_value="em")
     except UsageError as err:
         yield from write_err(proc, f"grep: {err}")
         return 2
@@ -172,15 +174,13 @@ def grep(proc: Process, argv: list[str]):
     else:
         yield from write_err(proc, "grep: missing pattern")
         return 2
-    flags = re.IGNORECASE if opts.get("i") else 0
-    if opts.get("F"):
-        regex = re.compile(re.escape(pattern).encode(), flags)
-    else:
-        try:
-            regex = re.compile(pattern.encode(), flags)
-        except re.error as err:
-            yield from write_err(proc, f"grep: bad pattern: {err}")
-            return 2
+    try:
+        regex = compile_posix(pattern, ere=bool(opts.get("E")),
+                              fixed=bool(opts.get("F")),
+                              ignorecase=bool(opts.get("i")))
+    except (re.error, RegexTranslationError) as err:
+        yield from write_err(proc, f"grep: bad pattern: {err}")
+        return 2
     invert = bool(opts.get("v"))
     count_only = bool(opts.get("c"))
     quiet = bool(opts.get("q"))
@@ -341,7 +341,11 @@ class _SedCmd:
 
 
 def parse_sed_script(script: str) -> list[_SedCmd]:
-    """Supported: ``s<sep>re<sep>repl<sep>[gp]``, ``/re/d``, ``/re/p``, ``q``."""
+    """Supported: ``s<sep>re<sep>repl<sep>[gp]``, ``/re/d``, ``/re/p``, ``q``.
+
+    Addresses and s/// patterns are POSIX BREs (like real sed), so `+`,
+    `?`, `|` and unescaped `{` are literal characters.
+    """
     cmds: list[_SedCmd] = []
     for piece in script.split(";"):
         piece = piece.strip()
@@ -356,7 +360,8 @@ def parse_sed_script(script: str) -> list[_SedCmd]:
                 raise UsageError(f"bad s command {piece!r}")
             pat, repl = parts[0], parts[1]
             flags = parts[2] if len(parts) > 2 else ""
-            regex = re.compile(pat.encode())
+            pat = pat.replace("\\" + sep, sep)
+            regex = re.compile(bre_to_python(pat).encode())
             # sed's \1 and & live in the replacement; translate to re syntax
             py_repl = re.sub(r"(?<!\\)&", r"\\g<0>", repl).encode()
             py_repl = py_repl.replace(b"\\" + sep.encode(), sep.encode())
@@ -367,7 +372,7 @@ def parse_sed_script(script: str) -> list[_SedCmd]:
             end = piece.find("/", 1)
             if end < 0:
                 raise UsageError(f"bad address {piece!r}")
-            regex = re.compile(piece[1:end].encode())
+            regex = re.compile(bre_to_python(piece[1:end]).encode())
             action = piece[end + 1 :].strip()
             if action == "d":
                 cmds.append(_SedCmd("d", regex))
@@ -538,15 +543,63 @@ def tac(proc: Process, argv: list[str]):
     return 0
 
 
+def parse_paste_delims(spec: str) -> list[bytes]:
+    """Expand a paste -d LIST: cycled delimiters with \\t \\n \\\\ and
+    \\0 (empty string) escapes."""
+    delims: list[bytes] = []
+    i = 0
+    while i < len(spec):
+        c = spec[i]
+        if c == "\\" and i + 1 < len(spec):
+            nxt = spec[i + 1]
+            delims.append({"t": b"\t", "n": b"\n", "\\": b"\\",
+                           "0": b""}.get(nxt, nxt.encode()))
+            i += 2
+        else:
+            delims.append(c.encode())
+            i += 1
+    if not delims:
+        raise UsageError("empty delimiter list")
+    return delims
+
+
 @command("paste")
 def paste(proc: Process, argv: list[str]):
+    """paste [-s] [-d LIST] [FILE...]: merge lines column-wise, or with
+    -s serialize each file onto one line; -d delimiters cycle."""
     try:
         opts, operands = parse_flags(argv, "s", with_value="d")
+        delims = parse_paste_delims(opts.get("d", "\t"))
     except UsageError as err:
         yield from write_err(proc, f"paste: {err}")
         return 2
-    delim = opts.get("d", "\t").encode()[:1] or b"\t"
+    serial = bool(opts.get("s"))
     coeff = cpu_coeff("paste")
+    out = OutBuf(proc, 1)
+
+    if serial:
+        # one output line per input file; delimiters cycle within a file
+        for path in operands or ["-"]:
+            fd, needs_close = yield from open_input(proc, path)
+            stream = LineStream(proc, fd)
+            pieces: list[bytes] = []
+            idx = 0
+            while True:
+                line = yield from stream.next_line()
+                if line is None:
+                    break
+                if pieces:
+                    pieces.append(delims[(idx - 1) % len(delims)])
+                pieces.append(line.rstrip(b"\n"))
+                idx += 1
+            joined = b"".join(pieces) + b"\n"
+            yield from proc.cpu(len(joined) * coeff)
+            yield from out.put(joined)
+            if needs_close:
+                yield from proc.close(fd)
+        yield from out.flush()
+        return 0
+
     streams = []
     closers = []
     for path in operands or ["-"]:
@@ -554,7 +607,6 @@ def paste(proc: Process, argv: list[str]):
         streams.append(LineStream(proc, fd))
         if needs_close:
             closers.append(fd)
-    out = OutBuf(proc, 1)
     while True:
         row: list[bytes] = []
         all_eof = True
@@ -567,7 +619,12 @@ def paste(proc: Process, argv: list[str]):
                 row.append(line.rstrip(b"\n"))
         if all_eof:
             break
-        joined = delim.join(row) + b"\n"
+        pieces = []
+        for col, cell in enumerate(row):
+            if col:
+                pieces.append(delims[(col - 1) % len(delims)])
+            pieces.append(cell)
+        joined = b"".join(pieces) + b"\n"
         yield from proc.cpu(len(joined) * coeff)
         yield from out.put(joined)
     yield from out.flush()

@@ -3,6 +3,8 @@ true, false, sleep."""
 
 from __future__ import annotations
 
+import re
+
 from ..vos.process import CHUNK, Process
 from .base import (
     LineStream,
@@ -68,22 +70,32 @@ def tee(proc: Process, argv: list[str]):
     return 0
 
 
-def _parse_count(opts: dict, default_lines: int = 10) -> tuple[str, int]:
-    """head/tail count parsing: -n N, -c N, historic -N."""
+def _parse_count(opts: dict, default_lines: int = 10) -> tuple[str, int, bool]:
+    """head/tail count parsing: -n N, -c N, historic -N.
+
+    Returns (unit, count, from_start).  ``tail -n +K`` / ``tail -c +K``
+    set from_start: output begins at line/byte K (so ``+1`` is the whole
+    input), instead of printing the last K units.  An explicit ``-K`` is
+    the same as ``K``.
+    """
     if "c" in opts:
-        return "bytes", int(opts["c"])
-    if "n" in opts:
-        return "lines", int(opts["n"])
-    if "#" in opts:
-        return "lines", int(opts["#"])
-    return "lines", default_lines
+        raw, unit = str(opts["c"]), "bytes"
+    elif "n" in opts:
+        raw, unit = str(opts["n"]), "lines"
+    elif "#" in opts:
+        raw, unit = str(opts["#"]), "lines"
+    else:
+        return "lines", default_lines, False
+    from_start = raw.startswith("+")
+    count = abs(int(raw))
+    return unit, count, from_start
 
 
 @command("head")
 def head(proc: Process, argv: list[str]):
     try:
         opts, operands = parse_flags(argv, "q", with_value="nc#")
-        unit, count = _parse_count(opts)
+        unit, count, _ = _parse_count(opts)
     except (UsageError, ValueError) as err:
         yield from write_err(proc, f"head: {err}")
         return 2
@@ -119,7 +131,7 @@ def head(proc: Process, argv: list[str]):
 def tail(proc: Process, argv: list[str]):
     try:
         opts, operands = parse_flags(argv, "q", with_value="nc#")
-        unit, count = _parse_count(opts)
+        unit, count, from_start = _parse_count(opts)
     except (UsageError, ValueError) as err:
         yield from write_err(proc, f"tail: {err}")
         return 2
@@ -129,7 +141,14 @@ def tail(proc: Process, argv: list[str]):
         fd, needs_close = yield from open_input(proc, path)
         data = yield from proc.read_all(fd)
         yield from proc.cpu(len(data) * coeff)
-        if unit == "bytes":
+        if from_start:
+            # tail -n +K / -c +K: emit from unit K onwards (+0 == +1)
+            skip = max(0, count - 1)
+            if unit == "bytes":
+                out = data[skip:]
+            else:
+                out = b"".join(data.splitlines(keepends=True)[skip:])
+        elif unit == "bytes":
             out = data[-count:] if count else b""
         else:
             lines = data.splitlines(keepends=True)
@@ -222,58 +241,142 @@ def printf_cmd(proc: Process, argv: list[str]):
         return 2
     fmt = argv[0]
     args = argv[1:]
-    out = _printf_format(fmt, args)
+    out, status = _printf_format(fmt, args)
     yield from proc.cpu(len(out) * 2e-9)
     yield from proc.write(1, out)
-    return 0
+    if status:
+        yield from write_err(proc, "printf: expected numeric value")
+    return status
 
 
-def _printf_render(fmt: str, args: list[str]) -> str:
-    """One pass of printf formatting: %s %d %i %c %% and common escapes."""
+#: full POSIX conversion spec: %[flags][width][.precision]conversion
+_PRINTF_SPEC = re.compile(r"%([#0\- +']*)(\d*)(\.\d*)?([diouxXeEfgGcs%])")
+
+_PRINTF_ESCAPES = {"n": "\n", "t": "\t", "\\": "\\", "r": "\r",
+                   "a": "\a", "b": "\b", "f": "\f", "v": "\v"}
+
+
+def _printf_int(arg: str) -> tuple[int, bool]:
+    """Parse a printf integer argument like C strtol: 0x/0 prefixes, a
+    leading quote yields the character code, and on garbage the longest
+    valid prefix (or 0) is used with a False 'ok' flag (exit status 1)."""
+    text = arg.strip()
+    if not text:
+        return 0, True
+    if text[0] in "'\"":
+        return (ord(text[1]) if len(text) > 1 else 0), True
+    m = re.match(r"([+-]?)(0[xX][0-9a-fA-F]+|0[0-7]+|[1-9][0-9]*|0)", text)
+    if m is None:
+        return 0, False
+    sign, digits = m.group(1), m.group(2)
+    if digits[:2].lower() == "0x":
+        val = int(digits, 16)
+    elif len(digits) > 1 and digits[0] == "0":
+        val = int(digits, 8)
+    else:
+        val = int(digits, 10)
+    if sign == "-":
+        val = -val
+    return val, m.end() == len(text)
+
+
+def _printf_float(arg: str) -> tuple[float, bool]:
+    text = arg.strip()
+    if not text:
+        return 0.0, True
+    try:
+        return float(text), True
+    except ValueError:
+        m = re.match(r"[+-]?\d*\.?\d+(?:[eE][+-]?\d+)?", text)
+        if m:
+            try:
+                return float(m.group(0)), False
+            except ValueError:
+                pass
+        return 0.0, False
+
+
+def _printf_render(fmt: str, args: list[str]) -> tuple[str, int]:
+    """One pass of printf formatting with full flag/width/precision
+    handling (%05d, %-10s, %.3s, %x, %f, ...); returns (text, status)."""
     arg_iter = iter(args)
     out: list[str] = []
+    status = 0
     i = 0
     while i < len(fmt):
         c = fmt[i]
         if c == "\\" and i + 1 < len(fmt):
-            esc = fmt[i + 1]
-            out.append({"n": "\n", "t": "\t", "\\": "\\", "r": "\r", "0": "\0"}.get(esc, "\\" + esc))
+            nxt = fmt[i + 1]
+            if nxt in "01234567":
+                j = i + 1
+                digits = ""
+                while j < len(fmt) and len(digits) < 3 and fmt[j] in "01234567":
+                    digits += fmt[j]
+                    j += 1
+                out.append(chr(int(digits, 8) & 0xFF))
+                i = j
+                continue
+            out.append(_PRINTF_ESCAPES.get(nxt, "\\" + nxt))
             i += 2
-        elif c == "%" and i + 1 < len(fmt):
-            spec = fmt[i + 1]
-            if spec == "%":
+            continue
+        if c == "%":
+            m = _PRINTF_SPEC.match(fmt, i)
+            if m is None:
+                # unknown conversion: emit literally, like before
+                out.append(fmt[i : i + 2] if i + 1 < len(fmt) else "%")
+                i += 2 if i + 1 < len(fmt) else 1
+                continue
+            flags, width, prec, conv = m.groups()
+            i = m.end()
+            if conv == "%":
                 out.append("%")
-            elif spec in "sdic":
-                arg = next(arg_iter, "")
-                if spec in "di":
-                    try:
-                        out.append(str(int(arg or "0", 0)))
-                    except ValueError:
-                        out.append("0")
-                elif spec == "c":
-                    out.append(arg[:1])
-                else:
-                    out.append(arg)
-            else:
-                out.append("%" + spec)
-            i += 2
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
+                continue
+            flags = flags.replace("'", "")  # thousands grouping: ignored
+            spec = "%" + flags + width + (prec or "")
+            arg = next(arg_iter, "")
+            ok = True
+            if conv in "di":
+                val, ok = _printf_int(arg)
+                out.append((spec + "d") % val)
+            elif conv == "u":
+                val, ok = _printf_int(arg)
+                out.append((spec + "d") % (val + (1 << 64) if val < 0 else val))
+            elif conv in "oxX":
+                val, ok = _printf_int(arg)
+                if val < 0:
+                    val += 1 << 64
+                text = (spec + conv) % val
+                if conv == "o" and "#" in flags:
+                    text = text.replace("0o", "0", 1)  # C prints 017, not 0o17
+                out.append(text)
+            elif conv in "eEfgG":
+                val, ok = _printf_float(arg)
+                out.append((spec + conv) % val)
+            elif conv == "c":
+                out.append((spec + "s") % arg[:1])
+            else:  # s
+                out.append((spec + "s") % arg)
+            if not ok:
+                status = 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), status
 
 
-def _printf_format(fmt: str, args: list[str]) -> bytes:
+def _printf_format(fmt: str, args: list[str]) -> tuple[bytes, int]:
     """POSIX printf reapplies the format until the arguments run out."""
-    import re
-
-    n_specs = len(re.findall(r"%[sdic]", fmt))
+    n_specs = sum(1 for m in _PRINTF_SPEC.finditer(fmt) if m.group(4) != "%")
     if not args or n_specs == 0:
-        return _printf_render(fmt, args).encode()
+        text, status = _printf_render(fmt, args)
+        return text.encode(), status
     pieces = []
+    status = 0
     for i in range(0, len(args), n_specs):
-        pieces.append(_printf_render(fmt, args[i : i + n_specs]))
-    return "".join(pieces).encode()
+        text, st = _printf_render(fmt, args[i : i + n_specs])
+        status = status or st
+        pieces.append(text)
+    return "".join(pieces).encode(), status
 
 
 @command("yes")

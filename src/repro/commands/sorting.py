@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import random
+import re
 
 from ..vos.process import CHUNK, Process
 from .base import (
@@ -40,37 +41,116 @@ def _numeric_key(body: bytes) -> float:
         return 0.0
 
 
-def make_sort_key(numeric: bool, key_field: int | None, delim: bytes | None):
+_KEY_SPEC = re.compile(r"^(\d+)(?:,(\d+))?$")
+
+
+def parse_key_spec(raw: str) -> tuple[int, int | None]:
+    """Parse a -k KEYDEF.  Only the ``N[,M]`` form is supported; char
+    offsets (``N.C``) and per-key modifier letters (``-k2n``) raise a
+    loud UsageError instead of silently misbehaving."""
+    m = _KEY_SPEC.match(str(raw))
+    if m is None:
+        raise UsageError(
+            f"unsupported key spec -k {raw!r} (only -k N[,M] is supported)")
+    start = int(m.group(1))
+    end = int(m.group(2)) if m.group(2) else None
+    if start < 1 or (end is not None and end < start):
+        raise UsageError(f"invalid key spec -k {raw!r}")
+    return start, end
+
+
+def _ws_field_starts(body: bytes) -> list[int]:
+    """Byte offsets where each whitespace-delimited field starts.  GNU
+    semantics: a field *includes* its leading blanks, so field k+1 starts
+    right where field k's non-blank run ends."""
+    starts = [0]
+    i, n = 0, len(body)
+    while True:
+        while i < n and body[i : i + 1] in (b" ", b"\t"):
+            i += 1
+        while i < n and body[i : i + 1] not in (b" ", b"\t"):
+            i += 1
+        if i >= n:
+            break
+        starts.append(i)
+    return starts
+
+
+def _key_slice(body: bytes, start_field: int, end_field: int | None,
+               delim: bytes | None) -> bytes:
+    """The portion of ``body`` a -k N[,M] key compares: from the start of
+    field N to the end of field M (end of line when M is omitted)."""
+    if delim:
+        fields = body.split(delim)
+        if start_field - 1 >= len(fields):
+            return b""
+        return delim.join(fields[start_field - 1 : end_field])
+    starts = _ws_field_starts(body)
+    if start_field - 1 >= len(starts):
+        return b""
+    lo = starts[start_field - 1]
+    hi = starts[end_field] if (end_field is not None
+                               and end_field < len(starts)) else len(body)
+    return body[lo:hi]
+
+
+def make_sort_key(numeric: bool, key_field: int | None, delim: bytes | None,
+                  fold: bool = False, key_end: int | None = None):
+    """Primary comparison key: field restriction (-k/-t), then -n numeric
+    value or -f case folding.  No last-resort tie-break — combine with
+    :func:`make_cmp_key` for full GNU ordering."""
+
     def key(line: bytes):
         body = line.rstrip(b"\n")
         if key_field is not None:
-            fields = body.split(delim) if delim else body.split()
-            body = fields[key_field - 1] if key_field - 1 < len(fields) else b""
+            body = _key_slice(body, key_field, key_end, delim)
         if numeric:
-            return (_numeric_key(body), body)
+            return _numeric_key(body)
+        if fold:
+            return body.upper()
         return body
+
+    return key
+
+
+def make_cmp_key(primary):
+    """Full ordering key: the primary key plus GNU sort's last-resort
+    comparison on the entire line (applied unless -u is given)."""
+
+    def key(line: bytes):
+        return (primary(line), line.rstrip(b"\n"))
 
     return key
 
 
 @command("sort")
 def sort_cmd(proc: Process, argv: list[str]):
-    """sort [-rnum] [-u] [-k FIELD[,FIELD]] [-t DELIM] [-o FILE] [-c] [FILE...]"""
+    """sort [-rnumf] [-u] [-k N[,M]] [-t DELIM] [-o FILE] [-c] [FILE...]
+
+    GNU/POSIX semantics: -k N keys on the text from the start of field N
+    (including its leading blanks) to the end of the line, -k N,M stops
+    at the end of field M; -f folds case; ties fall back to a whole-line
+    bytewise comparison unless -u is given (with -u the sort is stable
+    and keeps the first input line of each equal-key group).  Unsupported
+    key specs (char offsets, per-key modifiers) exit 2 loudly.
+    """
     try:
-        opts, operands = parse_flags(argv, "rnumc", with_value="kto")
+        opts, operands = parse_flags(argv, "rnumcf", with_value="kto")
+        key_field, key_end = (parse_key_spec(opts["k"]) if "k" in opts
+                              else (None, None))
     except UsageError as err:
         yield from write_err(proc, f"sort: {err}")
         return 2
     reverse = bool(opts.get("r"))
     numeric = bool(opts.get("n"))
+    fold = bool(opts.get("f"))
     unique = bool(opts.get("u"))
     merge_mode = bool(opts.get("m"))
     check_mode = bool(opts.get("c"))
-    key_field = None
-    if "k" in opts:
-        key_field = int(str(opts["k"]).split(",")[0].split(".")[0])
     delim = opts["t"].encode()[:1] if "t" in opts else None
-    key = make_sort_key(numeric, key_field, delim)
+    primary = make_sort_key(numeric, key_field, delim, fold, key_end)
+    # -u disables the last-resort comparison (GNU): stable on primary only
+    order_key = primary if unique else make_cmp_key(primary)
     coeff = cpu_coeff("sort")
     files = operands or ["-"]
 
@@ -83,7 +163,7 @@ def sort_cmd(proc: Process, argv: list[str]):
             if line is None:
                 break
             yield from proc.cpu(len(line) * coeff)
-            k = key(line)
+            k = order_key(line)
             if prev is not None:
                 in_order = k >= prev if not reverse else k <= prev
                 if not in_order:
@@ -95,7 +175,8 @@ def sort_cmd(proc: Process, argv: list[str]):
         return 0
 
     if merge_mode:
-        return (yield from _sort_merge(proc, files, key, reverse, unique, coeff))
+        return (yield from _sort_merge(proc, files, order_key, reverse,
+                                       unique, coeff, eq_key=primary))
 
     lines: list[bytes] = []
     total_bytes = 0
@@ -119,12 +200,12 @@ def sort_cmd(proc: Process, argv: list[str]):
     n = len(lines)
     if n > 1:
         yield from proc.cpu(n * math.log2(n) * SORT_CMP_COST)
-    lines.sort(key=key, reverse=reverse)
+    lines.sort(key=order_key, reverse=reverse)
     if unique:
         deduped: list[bytes] = []
         prev_key = object()
         for line in lines:
-            k = key(line)
+            k = primary(line)
             if k != prev_key:
                 deduped.append(line)
                 prev_key = k
@@ -143,7 +224,7 @@ def sort_cmd(proc: Process, argv: list[str]):
 
 
 def _sort_merge(proc: Process, files: list[str], key, reverse: bool,
-                unique: bool, coeff: float):
+                unique: bool, coeff: float, eq_key=None):
     """k-way streaming merge of pre-sorted input files (sort -m)."""
     in_fds = []
     closers = []
@@ -152,17 +233,20 @@ def _sort_merge(proc: Process, files: list[str], key, reverse: bool,
         in_fds.append(fd)
         if needs_close:
             closers.append(fd)
-    status = yield from kway_merge(proc, in_fds, key, reverse, unique, coeff)
+    status = yield from kway_merge(proc, in_fds, key, reverse, unique, coeff,
+                                   eq_key=eq_key)
     for fd in closers:
         yield from proc.close(fd)
     return status
 
 
 def kway_merge(proc: Process, in_fds: list[int], key, reverse: bool,
-               unique: bool, coeff: float):
+               unique: bool, coeff: float, eq_key=None):
     """Streaming heap-based k-way merge of pre-sorted inputs on open fds.
     Shared by ``sort -m`` and the parallel compiler's merge node.  Each
-    emitted line costs one heap sift: log2(k) comparisons."""
+    emitted line costs one heap sift: log2(k) comparisons.  ``eq_key``
+    (default: ``key``) is the equality key -u dedups on, which may be
+    coarser than the ordering key."""
     import heapq
 
     streams = [LineStream(proc, fd) for fd in in_fds]
@@ -185,6 +269,8 @@ def kway_merge(proc: Process, in_fds: list[int], key, reverse: bool,
     def wrap(k):
         return _Rev(k) if reverse else k
 
+    if eq_key is None:
+        eq_key = key
     for i, stream in enumerate(streams):
         line = yield from stream.next_line()
         if line is not None:
@@ -195,11 +281,11 @@ def kway_merge(proc: Process, in_fds: list[int], key, reverse: bool,
     pending_cpu = 0.0
     while heap:
         wrapped, i, line = heapq.heappop(heap)
-        k = wrapped.k if reverse else wrapped
         pending_cpu += len(line) * coeff + cmp_cost
         if pending_cpu > 1e-4:
             yield from proc.cpu(pending_cpu)
             pending_cpu = 0.0
+        k = eq_key(line) if unique else None
         if not (unique and k == prev_key):
             yield from out.put(line if line.endswith(b"\n") else line + b"\n")
         prev_key = k

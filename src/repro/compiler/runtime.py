@@ -213,18 +213,27 @@ def sort_kway_body(in_fds: list[int], argv: list[str]):
 
     def body(proc: Process):
         from ..commands.base import cpu_coeff, parse_flags
-        from ..commands.sorting import kway_merge, make_sort_key
+        from ..commands.sorting import (
+            kway_merge,
+            make_cmp_key,
+            make_sort_key,
+            parse_key_spec,
+        )
 
         yield from proc.cpu(PROC_STARTUP * 0.25)
-        opts, _operands = parse_flags(list(argv[1:]), "rnumc", with_value="kto")
-        key_field = None
-        if "k" in opts:
-            key_field = int(str(opts["k"]).split(",")[0].split(".")[0])
+        opts, _operands = parse_flags(list(argv[1:]), "rnumcf",
+                                      with_value="kto")
+        key_field, key_end = (parse_key_spec(opts["k"]) if "k" in opts
+                              else (None, None))
         delim = opts["t"].encode()[:1] if "t" in opts else None
-        key = make_sort_key(bool(opts.get("n")), key_field, delim)
+        unique = bool(opts.get("u"))
+        primary = make_sort_key(bool(opts.get("n")), key_field, delim,
+                                bool(opts.get("f")), key_end)
+        # mirror sort_cmd: last-resort tie-break unless -u
+        key = primary if unique else make_cmp_key(primary)
         status = yield from kway_merge(
-            proc, in_fds, key, bool(opts.get("r")), bool(opts.get("u")),
-            cpu_coeff("sort"),
+            proc, in_fds, key, bool(opts.get("r")), unique,
+            cpu_coeff("sort"), eq_key=primary,
         )
         return status
 

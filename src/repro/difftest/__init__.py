@@ -1,0 +1,25 @@
+"""S17: grammar-based differential conformance testing vs the host shell.
+
+Pipeline: :mod:`.grammar` generates seeded scripts → :mod:`.runner`
+executes each in the virtual shell and host ``/bin/sh`` and compares
+under a minimal normalization policy → :mod:`.reduce` delta-debugs any
+divergence into a small reproducer → :mod:`.corpus` freezes it as a
+replayed-forever regression test → :mod:`.baseline` lets CI fail only
+on *new* divergences.  See DESIGN.md §10.
+"""
+
+from .baseline import fingerprint, load_baseline, save_baseline, split_new
+from .corpus import CorpusEntry, load_corpus, parse_entry, render_entry, write_entry
+from .grammar import Case, generate_case, generate_cases, profiles
+from .reduce import minimize
+from .runner import (CampaignResult, Divergence, Outcome, compare,
+                     run_campaign, run_case, run_host, run_virtual,
+                     statuses_equivalent)
+
+__all__ = [
+    "Case", "CampaignResult", "CorpusEntry", "Divergence", "Outcome",
+    "compare", "fingerprint", "generate_case", "generate_cases",
+    "load_baseline", "load_corpus", "minimize", "parse_entry", "profiles",
+    "render_entry", "run_campaign", "run_case", "run_host", "run_virtual",
+    "save_baseline", "split_new", "statuses_equivalent", "write_entry",
+]

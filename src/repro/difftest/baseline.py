@@ -1,0 +1,69 @@
+"""S17 §5: the CI divergence baseline.
+
+CI runs the difftest smoke campaign with fixed seeds and fails only on
+divergences *not* present in ``tools/difftest_baseline.json``.  Each
+known divergence is identified by a content fingerprint (sha256 of the
+script plus its fixture files), so the baseline survives renames and
+reruns but invalidates automatically when the generator changes what it
+emits for those seeds.
+
+An empty baseline — the goal state — means any divergence at all fails
+the build.  ``tools/regen_difftest_baseline.py`` regenerates the file
+after a triage decision to accept a divergence as known.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .grammar import Case
+from .runner import Divergence
+
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "tools" / "difftest_baseline.json"
+
+
+def fingerprint(case: Case) -> str:
+    h = hashlib.sha256()
+    h.update(case.script.encode())
+    for name in sorted(case.files):
+        h.update(b"\x00" + name.encode() + b"\x00" + case.files[name])
+    return h.hexdigest()[:16]
+
+
+def load_baseline(path: Path | None = None) -> dict[str, dict]:
+    path = path or BASELINE_PATH
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    return data.get("known_divergences", {})
+
+
+def save_baseline(divergences: list[Divergence],
+                  path: Path | None = None) -> Path:
+    path = path or BASELINE_PATH
+    known = {
+        fingerprint(d.case): {
+            "ident": d.case.ident,
+            "reason": d.reason,
+            "script": d.case.script,
+        }
+        for d in divergences
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(
+        {"format": "jash-difftest-baseline-v1",
+         "known_divergences": dict(sorted(known.items()))},
+        indent=2) + "\n")
+    return path
+
+
+def split_new(divergences: list[Divergence],
+              baseline: dict[str, dict]) -> tuple[list[Divergence],
+                                                  list[Divergence]]:
+    """Partition into (new, known) against the baseline."""
+    new, known = [], []
+    for d in divergences:
+        (known if fingerprint(d.case) in baseline else new).append(d)
+    return new, known

@@ -1,0 +1,123 @@
+"""S17 §4: the checked-in divergence corpus.
+
+Every divergence the harness ever finds is minimized and frozen as a
+``.sh`` file under ``tests/corpus/divergences/``, then replayed forever
+by ``tests/test_difftest_corpus.py``.  An entry is a plain shell script
+with a structured comment header:
+
+    # jash-difftest divergence
+    # name: tail-n-plus-k
+    # profile: coreutils
+    # reason: tail -n +K returned the last K lines instead of
+    #         emitting from line K
+    # file f1.txt: "a\nb\nc\n"
+    # expect-status: 0
+    # expect-stdout: "b\nc\n"
+    tail -n +2 f1.txt
+
+File contents and expected stdout are Python string literals (decoded
+via ``ast.literal_eval`` and encoded latin-1, so arbitrary bytes
+round-trip).  The expectation is the **host** shell's behaviour at the
+time the entry was minimized — replay asserts the virtual shell matches
+it, so the corpus keeps protecting against regressions even on machines
+with no host shell at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+HEADER = "# jash-difftest divergence"
+
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus" / "divergences"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    name: str
+    profile: str
+    reason: str
+    script: str
+    files: dict[str, bytes] = field(hash=False)
+    expect_status: int = 0
+    expect_stdout: bytes = b""
+
+
+def _encode_bytes(data: bytes) -> str:
+    return repr(data.decode("latin-1"))
+
+
+def _decode_bytes(literal: str) -> bytes:
+    value = ast.literal_eval(literal)
+    if not isinstance(value, str):
+        raise ValueError(f"expected a string literal, got {literal!r}")
+    return value.encode("latin-1")
+
+
+def render_entry(entry: CorpusEntry) -> str:
+    lines = [HEADER,
+             f"# name: {entry.name}",
+             f"# profile: {entry.profile}"]
+    for rline in entry.reason.splitlines() or [""]:
+        lines.append(f"# reason: {rline}")
+    for fname in sorted(entry.files):
+        lines.append(f"# file {fname}: {_encode_bytes(entry.files[fname])}")
+    lines.append(f"# expect-status: {entry.expect_status}")
+    lines.append(f"# expect-stdout: {_encode_bytes(entry.expect_stdout)}")
+    lines.append(entry.script.rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def parse_entry(text: str, *, name_hint: str = "?") -> CorpusEntry:
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != HEADER:
+        raise ValueError(f"{name_hint}: missing {HEADER!r} header")
+    meta: dict[str, str] = {}
+    reasons: list[str] = []
+    files: dict[str, bytes] = {}
+    body_start = len(lines)
+    for i, line in enumerate(lines[1:], start=1):
+        if not line.startswith("#"):
+            body_start = i
+            break
+        content = line[1:].strip()
+        key, _, value = content.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if key == "reason":
+            reasons.append(value)
+        elif key.startswith("file "):
+            files[key[5:].strip()] = _decode_bytes(value)
+        elif key in ("name", "profile", "expect-status", "expect-stdout"):
+            meta[key] = value
+        # unknown keys are ignored: forward compatibility
+    script = "\n".join(lines[body_start:]).strip("\n")
+    if not script:
+        raise ValueError(f"{name_hint}: empty script body")
+    return CorpusEntry(
+        name=meta.get("name", name_hint),
+        profile=meta.get("profile", "manual"),
+        reason=" ".join(reasons),
+        script=script,
+        files=files,
+        expect_status=int(meta.get("expect-status", "0")),
+        expect_stdout=_decode_bytes(meta.get("expect-stdout", "''")),
+    )
+
+
+def load_corpus(directory: Path | None = None) -> list[CorpusEntry]:
+    directory = directory or CORPUS_DIR
+    entries = []
+    for path in sorted(directory.glob("*.sh")):
+        entries.append(parse_entry(path.read_text(), name_hint=path.stem))
+    return entries
+
+
+def write_entry(entry: CorpusEntry, directory: Path | None = None) -> Path:
+    directory = directory or CORPUS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.sh"
+    path.write_text(render_entry(entry))
+    return path

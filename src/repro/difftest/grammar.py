@@ -1,0 +1,396 @@
+"""S17 §1: seeded, grammar-based POSIX script generation.
+
+Each :class:`Case` is a small shell script plus the fixture files it
+reads, drawn from a grammar covering pipelines, word expansion,
+arithmetic, control flow, redirections and the coreutils flag sets this
+repo implements.  Generation is fully deterministic: the RNG is seeded
+with ``"{seed}:{profile}:{index}"`` (string seeding is stable across
+platforms and hash randomization), so ``--seed 0 --count 200`` names the
+same 200 scripts forever — which is what lets CI diff campaign results
+against a checked-in baseline.
+
+The grammar deliberately stays inside the *implemented, verified*
+dialect: constructs the virtual shell does not support (or where GNU
+behaviour is locale/width dependent, e.g. ``nl``, multi-file ``wc``)
+are excluded, so every divergence the harness reports is a real
+semantics or coreutils bug, not a known feature gap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Case:
+    """One generated differential test case."""
+
+    ident: str
+    profile: str
+    seed: int
+    index: int
+    script: str
+    files: dict[str, bytes] = field(hash=False)
+
+
+#: statement-kind weights per grammar profile
+PROFILE_WEIGHTS: dict[str, dict[str, int]] = {
+    "default": {"pipeline": 5, "coreutils": 4, "expansion": 3,
+                "arith": 2, "control": 3, "redirect": 2},
+    "pipeline": {"pipeline": 8, "coreutils": 2, "redirect": 1},
+    "coreutils": {"coreutils": 8, "pipeline": 2, "redirect": 1},
+    "expansion": {"expansion": 7, "arith": 2, "control": 1},
+    "arith": {"arith": 8, "expansion": 1},
+    "control": {"control": 6, "expansion": 2, "arith": 1},
+}
+
+
+def profiles() -> list[str]:
+    return sorted(PROFILE_WEIGHTS)
+
+
+_WORDS = ["alpha", "beta", "gamma", "delta", "omega", "red", "blue",
+          "green", "fox", "dog", "jazz", "quartz", "vex", "nymph",
+          "Alpha", "BETA", "Fox", "kiwi", "lemon", "mango"]
+
+_LETTERS = "abcdegoxz"
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, profile: str):
+        self.rng = rng
+        self.profile = profile
+        self.files: dict[str, bytes] = {}
+        self._counter = 0
+
+    # -- fixtures ---------------------------------------------------------
+
+    def _fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}{self._counter}.txt"
+
+    def words_file(self) -> str:
+        """Lines of 1-3 words; duplicates and mixed case on purpose."""
+        name = self._fresh("f")
+        rng = self.rng
+        lines = []
+        for _ in range(rng.randint(4, 9)):
+            n = rng.randint(1, 3)
+            lines.append(" ".join(rng.choice(_WORDS) for _ in range(n)))
+        if rng.random() < 0.4:  # duplicates make uniq/sort -u interesting
+            lines.append(rng.choice(lines))
+        self.files[name] = ("\n".join(lines) + "\n").encode()
+        return name
+
+    def nums_file(self) -> str:
+        """Lines of "number [word]" — numeric sorts and awk-ish sums."""
+        name = self._fresh("n")
+        rng = self.rng
+        lines = []
+        for _ in range(rng.randint(4, 8)):
+            num = rng.randint(0, 999)
+            if rng.random() < 0.5:
+                lines.append(f"{num} {rng.choice(_WORDS)}")
+            else:
+                lines.append(str(num))
+        self.files[name] = ("\n".join(lines) + "\n").encode()
+        return name
+
+    def colon_file(self) -> str:
+        """key:value:num lines for -t: / cut -d: workloads."""
+        name = self._fresh("c")
+        rng = self.rng
+        lines = [f"{rng.choice(_WORDS)}:{rng.choice(_WORDS)}:{rng.randint(0, 99)}"
+                 for _ in range(rng.randint(3, 6))]
+        self.files[name] = ("\n".join(lines) + "\n").encode()
+        return name
+
+    def sorted_file(self) -> str:
+        """Sorted unique words (valid comm/join/uniq -d input)."""
+        name = self._fresh("s")
+        rng = self.rng
+        words = sorted(set(rng.choice(_WORDS) for _ in range(rng.randint(3, 7))))
+        self.files[name] = ("\n".join(words) + "\n").encode()
+        return name
+
+    def any_file(self) -> str:
+        kind = self.rng.choice([self.words_file, self.nums_file,
+                                self.colon_file])
+        return kind()
+
+    # -- vocabulary -------------------------------------------------------
+
+    def word(self) -> str:
+        return self.rng.choice(_WORDS)
+
+    def letter(self) -> str:
+        return self.rng.choice(_LETTERS)
+
+    def bre_pattern(self) -> str:
+        """BRE patterns, including ones where + ? | { are literal."""
+        rng = self.rng
+        return rng.choice([
+            self.letter(),
+            self.word(),
+            f"^{self.letter()}",
+            f"{self.letter()}$",
+            "[aeiou]",
+            "[0-9]",
+            "[[:digit:]]",
+            f"{self.letter()}.{self.letter()}",
+            f"{self.letter()}*{self.letter()}",
+            # literal metacharacters — the bug class this harness caught
+            f"{self.letter()}+{self.letter()}",
+            f"{self.letter()}?",
+            f"{self.word()}|{self.word()}",
+            f"{self.letter()}{{2}}",
+        ])
+
+    def ere_pattern(self) -> str:
+        rng = self.rng
+        return rng.choice([
+            f"{self.word()}|{self.word()}",
+            "[0-9]+",
+            f"{self.letter()}+",
+            f"^{self.letter()}.*{self.letter()}$",
+            f"({self.letter()}|{self.letter()})",
+            f"{self.letter()}{{1,3}}",
+        ])
+
+    # -- pipeline pieces --------------------------------------------------
+
+    def source(self) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45:
+            return f"cat {self.any_file()}"
+        if roll < 0.55:
+            f = self.any_file()
+            k = rng.randint(1, 5)
+            return rng.choice([f"head -n {k} {f}", f"tail -n {k} {f}",
+                               f"tail -n +{k} {f}", f"tail -c +{k} {f}"])
+        if roll < 0.70:
+            return rng.choice([f"seq {rng.randint(3, 12)}",
+                               f"seq {rng.randint(2, 5)} {rng.randint(6, 15)}"])
+        if roll < 0.85:
+            words = " ".join(self.word() for _ in range(rng.randint(2, 4)))
+            return f"printf '%s\\n' {words}"
+        fmt, args = rng.choice([
+            ("%05d", str(rng.randint(0, 9999))),
+            ("%-8s|", self.word()),
+            ("%.3s", self.word()),
+            ("%6.3d", str(rng.randint(0, 99))),
+            ("%x %o", f"{rng.randint(0, 255)} {rng.randint(0, 63)}"),
+            ("%+d", str(rng.randint(0, 99))),
+            ("%u %c", f"{rng.randint(0, 99)} {self.word()}"),
+        ])
+        return f"printf '{fmt}\\n' {args}"
+
+    def filter(self) -> str:
+        rng = self.rng
+        choices = [
+            lambda: f"grep '{self.bre_pattern()}'",
+            lambda: f"grep -v '{self.bre_pattern()}'",
+            lambda: f"grep -c '{self.letter()}'",
+            lambda: f"grep -i '{self.word()}'",
+            lambda: f"grep -n '{self.letter()}'",
+            lambda: f"grep -E '{self.ere_pattern()}'",
+            lambda: "tr a-z A-Z",
+            lambda: "tr A-Z a-z",
+            lambda: f"tr -d '{rng.choice(['aeiou', '0-9', 'a-m'])}'",
+            lambda: "tr -s ' '",
+            lambda: "tr -cs 'A-Za-z' '\\n'",
+            lambda: f"cut -c {rng.randint(1, 3)}-{rng.randint(4, 9)}",
+            lambda: f"cut -d : -f {rng.randint(1, 3)}",
+            lambda: f"sed 's/{self.letter()}/{self.letter().upper()}/'",
+            lambda: f"sed 's/{self.letter()}/{self.letter()}/g'",
+            lambda: f"sed -n '/{self.letter()}/p'",
+            lambda: f"sed '/{self.letter()}/d'",
+            lambda: f"sort{rng.choice(['', ' -r', ' -n', ' -u', ' -f', ' -rn', ' -nu', ' -fu'])}",
+            lambda: f"sort -k{rng.randint(1, 3)}",
+            lambda: f"sort -k{rng.randint(1, 2)},{rng.randint(2, 3)}",
+            lambda: "sort | uniq",
+            lambda: "sort | uniq -c",
+            lambda: f"head -n {rng.randint(1, 4)}",
+            lambda: f"tail -n {rng.randint(1, 4)}",
+            lambda: f"tail -n +{rng.randint(1, 4)}",
+            lambda: "rev",
+            lambda: "tac",
+            lambda: f"paste -s -d'{rng.choice([',', ':', '-', ';'])}'",
+        ]
+        return rng.choice(choices)()
+
+    def sink(self) -> str:
+        return self.rng.choice(["wc -l", "wc -c", "wc -w", "sort -u",
+                                "uniq", "tail -n 2", "head -n 3"])
+
+    def pipeline(self) -> str:
+        rng = self.rng
+        stages = [self.source()]
+        for _ in range(rng.randint(0, 3)):
+            stages.append(self.filter())
+        if rng.random() < 0.4:
+            stages.append(self.sink())
+        return " | ".join(stages)
+
+    # -- statement kinds --------------------------------------------------
+
+    def stmt_pipeline(self) -> list[str]:
+        return [self.pipeline()]
+
+    def stmt_coreutils(self) -> list[str]:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.28:
+            f = rng.choice([self.words_file, self.nums_file])()
+            flags = rng.choice(["", " -r", " -n", " -u", " -f", " -rn",
+                                " -fu", " -k2", " -k2,2", " -n -k2",
+                                " -r -k2"])
+            return [f"sort{flags} {f}"]
+        if roll < 0.40:
+            c = self.colon_file()
+            return [rng.choice([f"sort -t: -k2 {c}", f"sort -t : -k3 {c}",
+                                f"cut -d : -f 2 {c}",
+                                f"cut -d : -f 1,3 {c}"])]
+        if roll < 0.55:
+            f = self.any_file()
+            flag = rng.choice(["", " -v", " -c", " -i", " -x", " -n"])
+            return [f"grep{flag} '{self.bre_pattern()}' {f}"]
+        if roll < 0.65:
+            a, b = self.sorted_file(), self.sorted_file()
+            return [f"comm {rng.choice(['-12', '-13', '-23', ''])} {a} {b}"]
+        if roll < 0.78:
+            a, b = self.words_file(), self.nums_file()
+            d = rng.choice([",", ":", ",;"])
+            return [rng.choice([f"paste {a} {b}", f"paste -d '{d}' {a} {b}",
+                                f"paste -s {a} {b}",
+                                f"paste -s -d '{d}' {a}"])]
+        if roll < 0.88:
+            f = self.any_file()
+            k = rng.randint(1, 6)
+            return [rng.choice([f"tail -n +{k} {f}", f"tail -c +{k} {f}",
+                                f"head -n {k} {f}", f"tail -n {k} {f}"])]
+        f = self.words_file()
+        return [rng.choice([f"wc -l < {f}", f"wc -c < {f}", f"wc -w < {f}",
+                            f"uniq -c {f}", f"rev {f}", f"tac {f}"])]
+
+    def stmt_redirect(self) -> list[str]:
+        rng = self.rng
+        out = self._fresh("out")
+        lines = [f"{self.pipeline()} > {out}"]
+        if rng.random() < 0.5:
+            lines.append(f"{self.source()} >> {out}")
+        lines.append(rng.choice([f"cat {out}", f"wc -l < {out}",
+                                 f"sort {out}"]))
+        return lines
+
+    def stmt_expansion(self) -> list[str]:
+        rng = self.rng
+        w, w2 = self.word(), self.word()
+        v = rng.choice(["x", "y", "v"])
+        roll = rng.randint(0, 9)
+        if roll == 0:
+            return [f"{v}={w}", f'echo ${v} ${{{v}}} "${v}"']
+        if roll == 1:
+            return [f"echo ${{unset_{v}:-{w}}} ${{unset_{v}-{w2}}}"]
+        if roll == 2:
+            return [f"{v}={w}", f"echo ${{{v}:+alt}} ${{#{v}}} ${{no_{v}:+alt}}"]
+        if roll == 3:
+            return [f"{v}={w}.tar.gz",
+                    f"echo ${{{v}%.gz}} ${{{v}%%.*}} ${{{v}#*.}} ${{{v}##*.}}"]
+        if roll == 4:
+            ws = " ".join(self.word() for _ in range(3))
+            return [f"set -- {ws}", 'echo $# $1 $3 "$*"']
+        if roll == 5:
+            return [f"{v}='{w}  {w2}'", f"echo ${v}", f'echo "${v}"']
+        if roll == 6:
+            return [f"{v}=$({self.pipeline()})", f'echo "[${v}]"']
+        if roll == 7:
+            return [f"echo `echo {w}`"]
+        if roll == 8:
+            return [f"IFS=:; {v}={w}:{w2}:{self.word()}",
+                    f"set -- ${v}", "echo $# $2"]
+        return [f"{v}={w}", f"echo ${{{v}:=kept}} ${{newvar_{v}:=set}}",
+                f"echo ${v} $newvar_{v}"]
+
+    def stmt_arith(self) -> list[str]:
+        rng = self.rng
+        a, b = rng.randint(0, 99), rng.randint(1, 9)
+        c = rng.randint(0, 9)
+        roll = rng.randint(0, 5)
+        if roll == 0:
+            op = rng.choice(["+", "-", "*", "/", "%"])
+            return [f"echo $(({a}{op}{b}))"]
+        if roll == 1:
+            return [f"echo $(( ({a}+{b})*{c} )) $(({a}*{b}+{c}))"]
+        if roll == 2:
+            return [f"echo $(({a}<{b})) $(({a}>={b})) $(({a}=={a}))"]
+        if roll == 3:
+            return [f"x={a}", f"echo $((x*2)) $(($x+{b})) $((x%{b}))"]
+        if roll == 4:
+            return [f"echo $((1&&{c})) $((0||{c})) $((!{c}))"]
+        return [f"echo $((0x{a:x})) $((0{b:o}))"]
+
+    def stmt_control(self) -> list[str]:
+        rng = self.rng
+        roll = rng.randint(0, 7)
+        if roll == 0:
+            a, b = rng.randint(0, 5), rng.randint(0, 5)
+            return [f"if [ {a} -lt {b} ]; then echo L; else echo GE; fi"]
+        if roll == 1:
+            items = " ".join(self.word() for _ in range(rng.randint(1, 3)))
+            return [f"for w in {items}; do echo p:$w; done"]
+        if roll == 2:
+            self.words_file()  # ensure at least one *.txt exists
+            return ["for f in *.txt; do echo f:$f; done"]
+        if roll == 3:
+            w = self.word()
+            pat = rng.choice([f"{w[0]}*", "[a-m]*", w, "*o*"])
+            return [f"case {w} in {pat}) echo hit;; *) echo miss;; esac"]
+        if roll == 4:
+            k = rng.randint(1, 4)
+            return [f"i=0; while [ $i -lt {k} ]; do echo i$i; i=$((i+1)); done"]
+        if roll == 5:
+            f = self.words_file()
+            return [f"while read x; do echo [$x]; done < {f}"]
+        if roll == 6:
+            w = self.word()
+            return [f"f() {{ echo fn:$1; }}; f {w}"]
+        cond = rng.choice(["true", "false"])
+        return [f"{cond} && echo AND || echo OR"]
+
+    KINDS = {
+        "pipeline": stmt_pipeline,
+        "coreutils": stmt_coreutils,
+        "expansion": stmt_expansion,
+        "arith": stmt_arith,
+        "control": stmt_control,
+        "redirect": stmt_redirect,
+    }
+
+    def script(self) -> str:
+        weights = PROFILE_WEIGHTS[self.profile]
+        kinds = list(weights)
+        wts = [weights[k] for k in kinds]
+        lines: list[str] = []
+        for _ in range(self.rng.randint(1, 3)):
+            kind = self.rng.choices(kinds, weights=wts)[0]
+            lines.extend(self.KINDS[kind](self))
+        return "\n".join(lines)
+
+
+def generate_case(seed: int, index: int, profile: str = "default") -> Case:
+    if profile not in PROFILE_WEIGHTS:
+        raise ValueError(f"unknown grammar profile {profile!r}; "
+                         f"choose from {profiles()}")
+    rng = random.Random(f"{seed}:{profile}:{index}")
+    gen = _Gen(rng, profile)
+    script = gen.script()
+    return Case(ident=f"{profile}-{seed}-{index}", profile=profile,
+                seed=seed, index=index, script=script, files=dict(gen.files))
+
+
+def generate_cases(seed: int, count: int,
+                   profile: str = "default") -> list[Case]:
+    return [generate_case(seed, i, profile) for i in range(count)]

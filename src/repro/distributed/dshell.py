@@ -346,12 +346,16 @@ class DistributedShell:
             flags = [a for a in agg_argv if a.startswith("-") and a != "-m"]
 
             def body(mproc: Process, flags=flags):
+                from ..commands.sorting import make_cmp_key
+
                 numeric = any("n" in f for f in flags)
                 reverse = any("r" in f for f in flags)
                 unique = any("u" in f for f in flags)
-                key = make_sort_key(numeric, None, None)
+                primary = make_sort_key(numeric, None, None)
+                key = primary if unique else make_cmp_key(primary)
                 st = yield from kway_merge(mproc, in_fds, key, reverse,
-                                           unique, cpu_coeff("sort"))
+                                           unique, cpu_coeff("sort"),
+                                           eq_key=primary)
                 return st
         elif agg_kind is AggKind.RERUN:
             rerun_argv = list(agg_argv)

@@ -101,12 +101,83 @@ class TestGrep:
         assert out_of("printf 'a\\nb\\n' | grep b") == "b\n"
 
     def test_regex(self, out_of):
-        assert out_of("grep 'ERROR (one|two)' /log", files=self.FILES).count("\n") == 2
+        # alternation/grouping are ERE operators; in a BRE they are literal
+        assert out_of("grep -E 'ERROR (one|two)' /log", files=self.FILES).count("\n") == 2
 
     def test_multiple_files_prefixed(self, out_of):
         files = {"/1": b"hit\n", "/2": b"hit\n"}
         out = out_of("grep hit /1 /2", files=files)
         assert out == "/1:hit\n/2:hit\n"
+
+
+class TestGrepBre:
+    """POSIX BRE semantics (the difftest-caught bug class): + ? | and
+    unescaped { are LITERALS in a BRE; \\( \\) \\{ \\} are the operators."""
+
+    FILES = {"/f": b"a+b\naab\nx|y\nxy\nq?\nq\nab\n"}
+
+    def test_plus_is_literal(self, out_of):
+        assert out_of("grep 'a+b' /f", files=self.FILES) == "a+b\n"
+
+    def test_pipe_is_literal(self, out_of):
+        assert out_of("grep 'x|y' /f", files=self.FILES) == "x|y\n"
+
+    def test_question_is_literal(self, out_of):
+        assert out_of("grep 'q?' /f", files=self.FILES) == "q?\n"
+
+    def test_unescaped_brace_is_literal(self, out_of):
+        files = {"/b": b"a{2}\naa\n"}
+        assert out_of("grep 'a{2}' /b", files=files) == "a{2}\n"
+
+    def test_escaped_interval_is_operator(self, out_of):
+        files = {"/b": b"a\naa\naaa\n"}
+        assert out_of("grep -x 'a\\{2\\}' /b", files=files) == "aa\n"
+
+    def test_escaped_group_backref(self, out_of):
+        files = {"/b": b"abab\nabcd\n"}
+        assert out_of("grep '\\(ab\\)\\1' /b", files=files) == "abab\n"
+
+    def test_leading_star_is_literal(self, out_of):
+        files = {"/b": b"*x\nxx\n"}
+        assert out_of("grep '*x' /b", files=files) == "*x\n"
+
+    def test_star_after_atom_repeats(self, out_of):
+        files = {"/b": b"ab\naab\nb\n"}
+        assert out_of("grep -x 'a*b' /b", files=files) == "ab\naab\nb\n"
+
+    def test_midline_dollar_is_literal(self, out_of):
+        files = {"/b": b"a$b\nab\n"}
+        assert out_of("grep 'a$b' /b", files=files) == "a$b\n"
+
+    def test_bracket_class(self, out_of):
+        files = {"/b": b"a1\nab\n"}
+        assert out_of("grep '[[:digit:]]' /b", files=files) == "a1\n"
+
+    def test_bracket_leading_rbracket(self, out_of):
+        files = {"/b": b"a]b\nab\n"}
+        assert out_of("grep '[]x]' /b", files=files) == "a]b\n"
+
+    def test_invalid_regex_exits_2(self, sh_run):
+        assert sh_run("printf 'a\\n' | grep '\\(a'").status == 2
+
+    # -E switches the same pattern text to ERE semantics
+    def test_ere_plus_is_operator(self, out_of):
+        assert out_of("grep -E 'a+b' /f", files=self.FILES) == "aab\nab\n"
+
+    def test_ere_alternation(self, out_of):
+        assert out_of("grep -xE 'xy|ab' /f", files=self.FILES) == "xy\nab\n"
+
+    def test_ere_question_is_operator(self, out_of):
+        files = {"/b": b"color\ncolour\n"}
+        assert out_of("grep -E 'colou?r' /b", files=files) == "color\ncolour\n"
+
+    def test_ere_interval(self, out_of):
+        files = {"/b": b"a\naa\naaa\n"}
+        assert out_of("grep -xE 'a{2,3}' /b", files=files) == "aa\naaa\n"
+
+    def test_ere_group(self, out_of):
+        files = {"/b": b"abab\nab\n"}
+        assert out_of("grep -xE '(ab){2}' /b", files=files) == "abab\n"
 
 
 class TestCut:
@@ -200,6 +271,38 @@ class TestMisc:
     def test_paste_delim(self, out_of):
         files = {"/a": b"1\n", "/b": b"x\n"}
         assert out_of("paste -d , /a /b", files=files) == "1,x\n"
+
+    def test_paste_delim_list_cycles(self, out_of):
+        # GNU: the delimiter list cycles per column, resetting each row
+        files = {"/a": b"1\n", "/b": b"2\n", "/c": b"3\n", "/d": b"4\n"}
+        out = out_of("paste -d ':;' /a /b /c /d", files=files)
+        assert out == "1:2;3:4\n"
+
+    def test_paste_delim_escapes(self, out_of):
+        files = {"/a": b"1\n", "/b": b"2\n", "/c": b"3\n"}
+        # \\0 is the EMPTY delimiter, not NUL
+        out = out_of("paste -d '\\0' /a /b /c", files=files)
+        assert out == "123\n"
+
+    def test_paste_serial(self, out_of):
+        files = {"/a": b"1\n2\n3\n"}
+        assert out_of("paste -s /a", files=files) == "1\t2\t3\n"
+
+    def test_paste_serial_delim(self, out_of):
+        files = {"/a": b"a\nb\nc\n"}
+        assert out_of("paste -s -d, /a", files=files) == "a,b,c\n"
+
+    def test_paste_serial_multiple_files(self, out_of):
+        # serial mode emits one line PER FILE
+        files = {"/a": b"1\n2\n", "/b": b"x\ny\n"}
+        assert out_of("paste -s /a /b", files=files) == "1\t2\nx\ty\n"
+
+    def test_paste_serial_stdin(self, out_of):
+        assert out_of("seq 3 | paste -s -d-") == "1-2-3\n"
+
+    def test_paste_uneven_files(self, out_of):
+        files = {"/a": b"1\n2\n3\n", "/b": b"x\n"}
+        assert out_of("paste /a /b", files=files) == "1\tx\n2\t\n3\t\n"
 
     def test_nl(self, out_of):
         out = out_of("printf 'a\\nb\\n' | nl")

@@ -63,6 +63,31 @@ class TestHeadTail:
     def test_head_more_than_available(self, out_of):
         assert out_of("head -n 99 /ten", files=self.FILES).count("\n") == 10
 
+    # tail's +K form: emit *from* unit K, not the last K units
+    def test_tail_from_line(self, out_of):
+        assert out_of("tail -n +8 /ten", files=self.FILES) == "7\n8\n9\n"
+
+    def test_tail_from_line_one_is_whole_file(self, out_of):
+        assert out_of("tail -n +1 /ten", files=self.FILES).count("\n") == 10
+
+    def test_tail_from_line_zero_like_one(self, out_of):
+        # GNU: +0 behaves like +1
+        assert out_of("tail -n +0 /ten", files=self.FILES).count("\n") == 10
+
+    def test_tail_from_line_past_end(self, out_of):
+        assert out_of("tail -n +99 /ten", files=self.FILES) == ""
+
+    def test_tail_from_byte(self, out_of):
+        files = {"/f": b"abcdef\n"}
+        assert out_of("tail -c +3 /f", files=files) == "cdef\n"
+
+    def test_tail_from_byte_one_is_whole_file(self, out_of):
+        files = {"/f": b"abc\n"}
+        assert out_of("tail -c +1 /f", files=files) == "abc\n"
+
+    def test_tail_plus_in_pipeline(self, out_of):
+        assert out_of("seq 5 | tail -n +4") == "4\n5\n"
+
 
 class TestSplit:
     def test_by_lines(self, sh_run):
@@ -101,6 +126,52 @@ class TestEchoPrintf:
 
     def test_printf_percent(self, out_of):
         assert out_of("printf '100%%\\n'") == "100%\n"
+
+    # flag/width/precision support (C printf semantics, matched against
+    # the host shell's printf in the difftest corpus)
+    def test_printf_zero_pad(self, out_of):
+        assert out_of("printf '%05d\\n' 42") == "00042\n"
+
+    def test_printf_left_justify(self, out_of):
+        assert out_of("printf '%-6s|\\n' ab") == "ab    |\n"
+
+    def test_printf_right_justify(self, out_of):
+        assert out_of("printf '%6s|\\n' ab") == "    ab|\n"
+
+    def test_printf_string_precision(self, out_of):
+        assert out_of("printf '%.3s\\n' abcdef") == "abc\n"
+
+    def test_printf_width_and_precision(self, out_of):
+        assert out_of("printf '%6.3d|\\n' 7") == "   007|\n"
+
+    def test_printf_plus_and_space_flags(self, out_of):
+        assert out_of("printf '%+d;% d\\n' 9 9") == "+9; 9\n"
+
+    def test_printf_float_precision(self, out_of):
+        assert out_of("printf '%05.1f\\n' 3.26") == "003.3\n"
+
+    def test_printf_hex_octal_unsigned(self, out_of):
+        assert out_of("printf '%x %X %o %u\\n' 255 255 8 7") == "ff FF 10 7\n"
+
+    def test_printf_alt_octal(self, out_of):
+        # C's %#o prints 017, not Python's 0o17
+        assert out_of("printf '%#o\\n' 15") == "017\n"
+
+    def test_printf_char(self, out_of):
+        assert out_of("printf '%c\\n' word") == "w\n"
+
+    def test_printf_numeric_prefixes(self, out_of):
+        # strtol-style: hex, octal, and 'c / "c char-code arguments
+        assert out_of("printf '%d %d %d\\n' 0x10 010 \"'A\"") == "16 8 65\n"
+
+    def test_printf_octal_escape(self, out_of):
+        assert out_of("printf '\\101\\n'") == "A\n"
+
+    def test_printf_invalid_number(self, sh_run):
+        # GNU/dash: print 0, warn on stderr, exit nonzero
+        res = sh_run("printf '%d\\n' notanum")
+        assert res.stdout == b"0\n"
+        assert res.status != 0
 
 
 class TestYesSleep:

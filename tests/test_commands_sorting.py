@@ -62,6 +62,75 @@ class TestSort:
         assert out_of("printf 'b\\na' | sort") == "a\nb\n"
 
 
+class TestSortFoldAndKeys:
+    """Regressions for the GNU-conformance bugs the difftest harness
+    caught: -f produced empty output, -k was parsed but ignored.
+    Expected strings are GNU sort's outputs under LC_ALL=C."""
+
+    MIXED = {"/m": b"Banana\napple\nCherry\nbanana\nApple\n"}
+
+    def test_fold_orders_case_insensitively(self, out_of):
+        # GNU: fold for comparison, whole-line bytewise as last resort
+        out = out_of("sort -f /m", files=self.MIXED)
+        assert out == "Apple\napple\nBanana\nbanana\nCherry\n"
+
+    def test_fold_not_empty(self, out_of):
+        # the original bug: `sort -f` returned nothing at all
+        assert out_of("printf 'b\\nA\\n' | sort -f") == "A\nb\n"
+
+    def test_fold_unique_keeps_first_occurrence(self, out_of):
+        # GNU -fu: dedup on the folded key, keep the FIRST input line of
+        # each group (stable; last-resort comparison is disabled by -u)
+        out = out_of("sort -fu /m", files=self.MIXED)
+        assert out == "apple\nBanana\nCherry\n"
+
+    def test_numeric_unique_dedups_by_value(self, out_of):
+        assert out_of("printf '01\\n1\\n2\\n' | sort -nu") == "01\n2\n"
+
+    def test_key_single_field_to_end_of_line(self, out_of):
+        # -k2 keys from field 2 (including its leading blanks) to EOL
+        files = {"/f": b"c 3 x\na 30 y\nb 9 z\n"}
+        assert out_of("sort -k2 /f", files=files) == "c 3 x\na 30 y\nb 9 z\n"
+
+    def test_key_field_range(self, out_of):
+        # -k2,2 stops at the end of field 2, so '3' < '30' < '9'
+        files = {"/f": b"c 3 x\na 30 y\nb 9 z\n"}
+        assert out_of("sort -k2,2 /f", files=files) == "c 3 x\na 30 y\nb 9 z\n"
+
+    def test_key_ties_fall_back_to_whole_line(self, out_of):
+        files = {"/f": b"b same\na same\n"}
+        assert out_of("sort -k2 /f", files=files) == "a same\nb same\n"
+
+    def test_key_numeric(self, out_of):
+        files = {"/f": b"c 3\na 30\nb 9\n"}
+        assert out_of("sort -n -k2 /f", files=files) == "c 3\nb 9\na 30\n"
+
+    def test_key_with_delimiter(self, out_of):
+        files = {"/f": b"x:bb\ny:aa\n"}
+        assert out_of("sort -t : -k2 /f", files=files) == "y:aa\nx:bb\n"
+
+    def test_key_reverse(self, out_of):
+        files = {"/f": b"a 1\nb 2\n"}
+        assert out_of("sort -r -k2 /f", files=files) == "b 2\na 1\n"
+
+    # unsupported key syntax must fail loudly, never sort wrongly
+    def test_char_offset_rejected(self, sh_run):
+        res = sh_run("printf 'a\\n' | sort -k2.3")
+        assert res.status == 2
+        assert b"unsupported key spec" in res.stderr
+
+    def test_per_key_modifier_rejected(self, sh_run):
+        res = sh_run("printf 'a\\n' | sort -k2n")
+        assert res.status == 2
+        assert b"unsupported key spec" in res.stderr
+
+    def test_zero_field_rejected(self, sh_run):
+        assert sh_run("printf 'a\\n' | sort -k0").status == 2
+
+    def test_backwards_range_rejected(self, sh_run):
+        assert sh_run("printf 'a\\n' | sort -k3,2").status == 2
+
+
 class TestUniq:
     def test_adjacent_only(self, out_of):
         assert out_of("printf 'a\\na\\nb\\na\\n' | uniq") == "a\nb\na\n"

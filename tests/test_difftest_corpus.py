@@ -1,0 +1,43 @@
+"""Replay the checked-in divergence corpus (S17).
+
+Every entry under ``tests/corpus/divergences/`` is a minimized script
+that once exposed a conformance bug.  Replay asserts the virtual shell
+now matches the host behaviour recorded at minimization time — so these
+run (and protect) even on machines with no host shell.  When a host
+shell *is* available, a second pass re-checks the recorded expectation
+against it, catching stale entries.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.difftest import load_corpus, run_host, run_virtual
+from repro.difftest.corpus import CORPUS_DIR
+
+ENTRIES = load_corpus()
+
+HOST_SH = shutil.which("sh")
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_DIR.is_dir()
+    assert len(ENTRIES) >= 5, "the pre-found bug corpus must be checked in"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_replay_virtual(entry):
+    outcome = run_virtual(entry.script, entry.files)
+    assert outcome.error is None, outcome.error
+    assert outcome.stdout == entry.expect_stdout
+    assert outcome.status == entry.expect_status
+
+
+@pytest.mark.skipif(HOST_SH is None, reason="no host /bin/sh available")
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_recorded_expectation_still_matches_host(entry):
+    outcome = run_host(entry.script, entry.files)
+    assert outcome.stdout == entry.expect_stdout
+    assert outcome.status == entry.expect_status
