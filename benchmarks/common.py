@@ -12,11 +12,51 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 from pathlib import Path
 
 from repro.bench import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def ensure_hashseed(seed: str = "0") -> None:
+    """Re-exec under ``PYTHONHASHSEED=<seed>`` if not already pinned.
+
+    Hash randomization perturbs dict/set iteration order enough to move
+    wall-clock numbers between runs; pinning it makes the JSONs written
+    by the wall-clock benches comparable across invocations.  The
+    variable only takes effect at interpreter startup, hence the exec.
+    """
+    if os.environ.get("PYTHONHASHSEED") == seed:
+        return
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    os.execve(sys.executable, [sys.executable, *sys.argv], env)
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine()
+
+
+def host_metadata() -> dict:
+    """Host facts recorded alongside wall-clock results so numbers from
+    different machines/interpreters are never compared blindly."""
+    return {
+        "cpu": _cpu_model(),
+        "machine": platform.machine(),
+        "system": f"{platform.system()} {platform.release()}",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "hashseed": os.environ.get("PYTHONHASHSEED", "random"),
+    }
 
 
 def bench_mb() -> float:

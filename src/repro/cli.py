@@ -49,6 +49,9 @@ def _main(argv=None) -> int:
     run_p.add_argument("--trace", metavar="OUT.json",
                        help="record a trace and export Chrome trace_event "
                             "JSON (open in ui.perfetto.dev)")
+    run_p.add_argument("--no-splice", action="store_true",
+                       help="disable the kernel splice fast path (results "
+                            "are identical; this exists to prove it)")
 
     prof_p = sub.add_parser(
         "profile", help="run a script with tracing and print the "
@@ -120,6 +123,10 @@ def _main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.cmd == "run":
+        if args.no_splice:
+            from .commands.base import set_splice_enabled
+
+            set_splice_enabled(False)
         text = _script_text(args)
         machine = profile(args.machine)
         optimizer = make_engine(args.engine)

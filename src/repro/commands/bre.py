@@ -18,6 +18,7 @@ than an escape (Python).
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 #: C-locale expansions for POSIX character classes (usable inside [...]).
 _POSIX_CLASSES = {
@@ -92,6 +93,7 @@ def _translate_bracket(pat: str, i: int) -> tuple[str, int]:
     return "[" + ("^" if neg else "") + body + "]", j + 1
 
 
+@lru_cache(maxsize=512)
 def bre_to_python(pat: str) -> str:
     """Translate a POSIX basic regular expression to Python `re` syntax.
 
@@ -156,6 +158,7 @@ def bre_to_python(pat: str) -> str:
     return "".join(out)
 
 
+@lru_cache(maxsize=512)
 def ere_to_python(pat: str) -> str:
     """Translate a POSIX extended regular expression to Python `re`.
 
@@ -189,10 +192,12 @@ def ere_to_python(pat: str) -> str:
     return "".join(out)
 
 
+@lru_cache(maxsize=512)
 def compile_posix(pattern: str, *, ere: bool = False, fixed: bool = False,
                   ignorecase: bool = False) -> "re.Pattern[bytes]":
     """Compile a POSIX BRE (default), ERE (`-E`) or fixed string (`-F`)
-    into a bytes-matching Python regex."""
+    into a bytes-matching Python regex.  Cached: loops re-grep with the
+    same pattern thousands of times."""
     if fixed:
         src = re.escape(pattern)
     elif ere:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 from ..vos.process import CHUNK, Process
 from .base import (
@@ -70,6 +71,58 @@ def parse_tr_set(spec: str) -> bytes:
     return "".join(out).encode("latin-1")
 
 
+@lru_cache(maxsize=128)
+def _tr_plan(operands: tuple, complement: bool, squeeze: bool, delete: bool):
+    """Precomputed translation artifacts for one tr invocation shape:
+    ``(delete_chars, table, squeeze_set, squeeze_re)``.  Cached because
+    loops re-run the same tr spec thousands of times and rebuilding the
+    256-entry tables dominates short invocations."""
+    if delete:
+        if len(operands) != (2 if squeeze else 1):
+            raise UsageError("wrong number of operands for -d")
+        set1 = parse_tr_set(operands[0])
+        set2 = parse_tr_set(operands[1]) if squeeze else b""
+    elif squeeze and len(operands) == 1:
+        set1 = parse_tr_set(operands[0])
+        set2 = b""
+    else:
+        if len(operands) != 2:
+            raise UsageError("missing operand")
+        set1 = parse_tr_set(operands[0])
+        set2 = parse_tr_set(operands[1])
+
+    members = bytearray(256)
+    for b in set1:
+        members[b] = 1
+    if complement:
+        members = bytearray(0 if m else 1 for m in members)
+
+    table = None
+    squeeze_set = b""
+    delete_chars = None
+    if delete:
+        delete_chars = bytes(b for b in range(256) if members[b])
+        squeeze_set = set2
+    elif squeeze and not set2:
+        squeeze_set = bytes(b for b in range(256) if members[b])
+    else:
+        # translation: members of set1 (in order; complement = ascending
+        # order) map to set2 padded with its last char
+        src = (bytes(b for b in range(256) if members[b]) if complement
+               else set1)
+        padded = set2 + set2[-1:] * max(0, len(src) - len(set2)) if set2 else b""
+        tbl = bytearray(range(256))
+        for i, b in enumerate(src):
+            if i < len(padded):
+                tbl[b] = padded[i]
+        table = bytes(tbl)
+        squeeze_set = set2 if squeeze else b""
+    # a run of any squeeze-set byte collapses to a single occurrence
+    squeeze_re = (re.compile(b"([" + re.escape(squeeze_set) + b"])\\1+")
+                  if squeeze_set else None)
+    return delete_chars, table, squeeze_set, squeeze_re
+
+
 @command("tr")
 def tr(proc: Process, argv: list[str]):
     try:
@@ -81,48 +134,11 @@ def tr(proc: Process, argv: list[str]):
     squeeze = bool(opts.get("s"))
     delete = bool(opts.get("d"))
     try:
-        if delete:
-            if len(operands) != (2 if squeeze else 1):
-                raise UsageError("wrong number of operands for -d")
-            set1 = parse_tr_set(operands[0])
-            set2 = parse_tr_set(operands[1]) if squeeze else b""
-        elif squeeze and len(operands) == 1:
-            set1 = parse_tr_set(operands[0])
-            set2 = b""
-        else:
-            if len(operands) != 2:
-                raise UsageError("missing operand")
-            set1 = parse_tr_set(operands[0])
-            set2 = parse_tr_set(operands[1])
+        delete_chars, table, squeeze_set, squeeze_re = _tr_plan(
+            tuple(operands), complement, squeeze, delete)
     except UsageError as err:
         yield from write_err(proc, f"tr: {err}")
         return 2
-
-    members = bytearray(256)
-    for b in set1:
-        members[b] = 1
-    if complement:
-        members = bytearray(0 if m else 1 for m in members)
-
-    table = None
-    squeeze_set = b""
-    delete_table = None
-    if delete:
-        delete_table = bytes(b for b in range(256) if not members[b])
-        squeeze_set = set2
-    elif squeeze and not set2:
-        squeeze_set = bytes(b for b in range(256) if members[b])
-    else:
-        # translation: members of set1 (in order; complement = ascending
-        # order) map to set2 padded with its last char
-        src = (bytes(b for b in range(256) if members[b]) if complement
-               else set1)
-        padded = set2 + set2[-1:] * max(0, len(src) - len(set2)) if set2 else b""
-        table = bytearray(range(256))
-        for i, b in enumerate(src):
-            if i < len(padded):
-                table[b] = padded[i]
-        squeeze_set = set2 if squeeze else b""
 
     coeff = cpu_coeff("tr")
     last_byte = -1
@@ -131,20 +147,21 @@ def tr(proc: Process, argv: list[str]):
         if not data:
             break
         yield from proc.cpu(len(data) * coeff)
-        if delete_table is not None:
-            data = data.translate(None, bytes(b for b in range(256) if members[b]))
+        if delete_chars is not None:
+            data = data.translate(None, delete_chars)
         elif table is not None:
-            data = data.translate(bytes(table))
-        if squeeze_set:
-            squeezed = bytearray()
-            prev = last_byte
-            for b in data:
-                if b == prev and b in squeeze_set:
-                    continue
-                squeezed.append(b)
-                prev = b
-            last_byte = prev
-            data = bytes(squeezed)
+            data = data.translate(table)
+        if squeeze_set and data:
+            # continue a squeeze run that straddled the chunk boundary
+            if last_byte >= 0 and last_byte in squeeze_set:
+                i = 0
+                n = len(data)
+                while i < n and data[i] == last_byte:
+                    i += 1
+                data = data[i:]
+            if data:
+                data = squeeze_re.sub(b"\\1", data)
+                last_byte = data[-1]
         yield from proc.write(1, data)
     return 0
 
@@ -152,6 +169,61 @@ def tr(proc: Process, argv: list[str]):
 # ---------------------------------------------------------------------------
 # grep
 # ---------------------------------------------------------------------------
+
+
+def _literal_needle(pattern: str, ere: bool, fixed: bool,
+                    ignorecase: bool) -> bytes | None:
+    """A substring every match of ``pattern`` must contain, or None.
+
+    Used as a byte-level prefilter: ``needle in line`` is a C memmem
+    scan, so lines that cannot match skip the regex engine entirely.
+    Conservative — any char adjacent to a metacharacter is dropped from
+    its run, and anything shorter than 3 bytes is not worth the scan.
+    """
+    if ignorecase:
+        return None
+    if fixed:
+        needle = pattern.encode("utf-8", "surrogateescape")
+        return needle if len(needle) >= 3 and b"\n" not in needle else None
+    if any(c in pattern for c in "[|({"):
+        # bracket expressions, alternation, groups, intervals: their
+        # contents are not simple required literals — no prefilter
+        return None
+    meta = "].*^$" + ("+?})" if ere else "")
+    runs: list[str] = []
+    cur: list[str] = []
+    i, n = 0, len(pattern)
+    while i < n:
+        c = pattern[i]
+        if c == "\\":
+            # escaped char: operator (BRE \+ \? \{ \| ...) or literal —
+            # either way exclude it, and drop the char a repetition
+            # operator would make optional
+            if cur and i + 1 < n and pattern[i + 1] in "*+?{|":
+                cur.pop()
+            if cur:
+                runs.append("".join(cur))
+            cur = []
+            i += 2
+            continue
+        if c in meta:
+            if cur and c in "*?{":
+                cur.pop()  # preceding char may repeat zero times
+            if cur:
+                runs.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+        i += 1
+    if cur:
+        runs.append("".join(cur))
+    # longest run wins; among equals prefer punctuation/whitespace-heavy
+    # ones, which are rarer in typical text and filter harder
+    best = max(runs, default="",
+               key=lambda r: (len(r), sum(not c.isalnum() for c in r)))
+    if len(best) < 3 or "\n" in best:
+        return None
+    return best.encode("utf-8", "surrogateescape")
 
 
 @command("grep")
@@ -187,10 +259,20 @@ def grep(proc: Process, argv: list[str]):
     number = bool(opts.get("n"))
     whole_line = bool(opts.get("x"))
     max_count = int(opts["m"]) if "m" in opts else None
+    needle = _literal_needle(pattern, ere=bool(opts.get("E")),
+                             fixed=bool(opts.get("F")),
+                             ignorecase=bool(opts.get("i")))
 
     files = operands or ["-"]
     multi = len(files) > 1
     coeff = cpu_coeff("grep")
+    # whole-buffer scan: when no match can span a newline (needle found
+    # => no brackets/groups/alternation; `.` never matches \n) and no
+    # per-line bookkeeping is needed, run the regex over raw chunks and
+    # pay per *match*, not per line
+    blob_scan = (needle is not None and not invert and not number
+                 and not whole_line
+                 and "^" not in pattern and "$" not in pattern)
     overall_match = False
     for path in files:
         try:
@@ -198,42 +280,80 @@ def grep(proc: Process, argv: list[str]):
         except Exception:
             yield from write_err(proc, f"grep: {path}: No such file or directory")
             continue
-        stream = LineStream(proc, fd)
         out = OutBuf(proc, 1)
         lineno = 0
         matches = 0
-        while True:
-            batch = yield from stream.next_batch()
-            if batch is None:
-                break
-            if not batch:
-                continue
-            yield from proc.cpu(sum(len(l) for l in batch) * coeff)
-            for line in batch:
-                lineno += 1
-                body = line.rstrip(b"\n")
-                if whole_line:
-                    m = regex.fullmatch(body)
+        if blob_scan:
+            prefix = path.encode() + b":" if multi else b""
+            tail = b""
+            done = False
+            while not done:
+                data = yield from proc.read(fd, CHUNK)
+                if not data:
+                    if not tail:
+                        break
+                    blob, tail, done = tail + b"\n", b"", True
+                    yield from proc.cpu((len(blob) - 1) * coeff)
                 else:
-                    m = regex.search(body)
-                hit = bool(m) != invert
-                if not hit:
+                    buf = tail + data if tail else data
+                    nl = buf.rfind(b"\n")
+                    if nl < 0:
+                        tail = buf
+                        continue
+                    blob, tail = buf[: nl + 1], buf[nl + 1 :]
+                    yield from proc.cpu(len(blob) * coeff)
+                line_end = -1  # end of the last line already counted
+                for m in regex.finditer(blob):
+                    if m.start() < line_end:
+                        continue  # second match on an already-hit line
+                    matches += 1
+                    overall_match = True
+                    if quiet:
+                        return 0
+                    start = blob.rfind(b"\n", 0, m.start()) + 1
+                    line_end = blob.index(b"\n", m.end()) + 1
+                    if not count_only:
+                        yield from out.put(prefix + blob[start:line_end])
+                    if max_count is not None and matches >= max_count:
+                        done = True
+                        break
+        else:
+            stream = LineStream(proc, fd)
+            while True:
+                batch = yield from stream.next_batch()
+                if batch is None:
+                    break
+                if not batch:
                     continue
-                matches += 1
-                overall_match = True
-                if quiet:
-                    return 0
-                if not count_only:
-                    prefix = b""
-                    if multi:
-                        prefix += path.encode() + b":"
-                    if number:
-                        prefix += str(lineno).encode() + b":"
-                    yield from out.put(prefix + line if line.endswith(b"\n") else prefix + line + b"\n")
+                yield from proc.cpu(sum(map(len, batch)) * coeff)
+                for line in batch:
+                    lineno += 1
+                    if needle is not None and needle not in line:
+                        m = None  # cannot match: skip the regex engine
+                    else:
+                        body = line.rstrip(b"\n")
+                        if whole_line:
+                            m = regex.fullmatch(body)
+                        else:
+                            m = regex.search(body)
+                    hit = bool(m) != invert
+                    if not hit:
+                        continue
+                    matches += 1
+                    overall_match = True
+                    if quiet:
+                        return 0
+                    if not count_only:
+                        prefix = b""
+                        if multi:
+                            prefix += path.encode() + b":"
+                        if number:
+                            prefix += str(lineno).encode() + b":"
+                        yield from out.put(prefix + line if line.endswith(b"\n") else prefix + line + b"\n")
+                    if max_count is not None and matches >= max_count:
+                        break
                 if max_count is not None and matches >= max_count:
                     break
-            if max_count is not None and matches >= max_count:
-                break
         if count_only:
             prefix = (path.encode() + b":") if multi else b""
             yield from out.put(prefix + str(matches).encode() + b"\n")
@@ -301,6 +421,13 @@ def cut(proc: Process, argv: list[str]):
             if not batch:
                 continue
             yield from proc.cpu(sum(len(l) for l in batch) * coeff)
+            if by_chars and len(ranges) == 1:
+                # single -c range: one slice per line, no join
+                lo, hi = ranges[0]
+                results = [line.rstrip(b"\n")[lo - 1 : hi] + b"\n"
+                           for line in batch]
+                yield from out.put_lines(results)
+                continue
             results = []
             for line in batch:
                 body = line.rstrip(b"\n")
@@ -340,6 +467,7 @@ class _SedCmd:
         self.print_ = print_
 
 
+@lru_cache(maxsize=128)
 def parse_sed_script(script: str) -> list[_SedCmd]:
     """Supported: ``s<sep>re<sep>repl<sep>[gp]``, ``/re/d``, ``/re/p``, ``q``.
 
@@ -465,6 +593,7 @@ def wc(proc: Process, argv: list[str]):
         yield from write_err(proc, f"wc: {err}")
         return 2
     show = [k for k in "lwc" if opts.get(k)] or ["l", "w", "c"]
+    need_words = "w" in show
     coeff = cpu_coeff("wc")
     files = operands or ["-"]
     totals = {"l": 0, "w": 0, "c": 0}
@@ -479,16 +608,14 @@ def wc(proc: Process, argv: list[str]):
             yield from proc.cpu(len(data) * coeff)
             counts["c"] += len(data)
             counts["l"] += data.count(b"\n")
-            # word counting across chunk boundaries
-            for token in re.split(rb"(\s+)", data):
-                if not token:
-                    continue
-                if token.isspace():
-                    in_word = False
-                else:
-                    if not in_word:
-                        counts["w"] += 1
-                    in_word = True
+            if need_words:
+                # whole-buffer word count; a word straddling the chunk
+                # boundary was already counted in the previous chunk
+                words = len(data.split())
+                if in_word and words and not data[:1].isspace():
+                    words -= 1
+                counts["w"] += words
+                in_word = not data[-1:].isspace()
         for k in counts:
             totals[k] += counts[k]
         fields = [str(counts[k]) for k in show]

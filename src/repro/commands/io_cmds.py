@@ -6,6 +6,7 @@ from __future__ import annotations
 import re
 
 from ..vos.process import CHUNK, Process
+from ..vos.syscalls import SpliceReq
 from .base import (
     LineStream,
     OutBuf,
@@ -14,6 +15,7 @@ from .base import (
     cpu_coeff,
     open_input,
     parse_flags,
+    splice_enabled,
     write_err,
 )
 
@@ -35,12 +37,17 @@ def cat(proc: Process, argv: list[str]):
             yield from write_err(proc, f"cat: {path}: No such file or directory")
             status = 1
             continue
-        while True:
-            data = yield from proc.read(fd, CHUNK)
-            if not data:
-                break
-            yield from proc.cpu(len(data) * coeff)
-            yield from proc.write(1, data)
+        if splice_enabled():
+            # kernel pass-through pump: one dispatch for the whole file,
+            # replaying the same read/cpu/write virtual-op sequence
+            yield SpliceReq(fd, (1,), coeff, CHUNK)
+        else:
+            while True:
+                data = yield from proc.read(fd, CHUNK)
+                if not data:
+                    break
+                yield from proc.cpu(len(data) * coeff)
+                yield from proc.write(1, data)
         if needs_close:
             yield from proc.close(fd)
     return status
@@ -59,6 +66,9 @@ def tee(proc: Process, argv: list[str]):
         fd = yield from proc.open(path, mode)
         out_fds.append(fd)
     coeff = cpu_coeff("tee")
+    if splice_enabled():
+        yield SpliceReq(0, tuple([1] + out_fds), coeff, CHUNK)
+        return 0
     while True:
         data = yield from proc.read(0, CHUNK)
         if not data:
@@ -116,12 +126,16 @@ def head(proc: Process, argv: list[str]):
             stream = LineStream(proc, fd)
             emitted = 0
             while emitted < count:
-                line = yield from stream.next_line()
-                if line is None:
+                batch = yield from stream.next_batch()
+                if batch is None:
                     break
-                yield from proc.cpu(len(line) * coeff)
-                yield from proc.write(1, line)
-                emitted += 1
+                if not batch:
+                    continue
+                take = batch[: count - emitted]
+                yield from proc.cpu(sum(len(l) for l in take) * coeff)
+                for line in take:
+                    yield from proc.write(1, line)
+                emitted += len(take)
         if needs_close:
             yield from proc.close(fd)
     return 0

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 import random
 import re
+from itertools import groupby
 
 from ..vos.process import CHUNK, Process
 from .base import (
@@ -178,6 +179,11 @@ def sort_cmd(proc: Process, argv: list[str]):
         return (yield from _sort_merge(proc, files, order_key, reverse,
                                        unique, coeff, eq_key=primary))
 
+    if not numeric and not fold and key_field is None:
+        # plain bytewise ordering: C-sort newline-free bodies directly
+        return (yield from _sort_plain(proc, files, reverse, unique,
+                                       coeff, opts))
+
     lines: list[bytes] = []
     total_bytes = 0
     for path in files:
@@ -218,6 +224,57 @@ def sort_cmd(proc: Process, argv: list[str]):
     out = OutBuf(proc, out_fd)
     yield from out.put_lines(lines)
     yield from out.flush()
+    if close_out:
+        yield from proc.close(out_fd)
+    return 0
+
+
+def _sort_plain(proc: Process, files: list[str], reverse: bool,
+                unique: bool, coeff: float, opts: dict):
+    """Whole-buffer fast path for sorts whose order is plain bytewise
+    comparison of line bodies (no -n/-f/-k): read chunks, charge CPU at
+    exactly the LineStream batch granularity (bytes up to the last
+    newline of each read; the unterminated tail is charged at EOF), then
+    sort newline-free bodies with the C sort and emit one joined write —
+    the same virtual-op sequence, orders of magnitude less Python work.
+    """
+    chunks: list[bytes] = []
+    for path in files:
+        fd, needs_close = yield from open_input(proc, path)
+        tail_len = 0
+        while True:
+            data = yield from proc.read(fd, CHUNK)
+            if not data:
+                if tail_len:
+                    yield from proc.cpu(tail_len * coeff)
+                    chunks.append(b"\n")  # normalize missing final newline
+                break
+            chunks.append(data)
+            nl = data.rfind(b"\n")
+            if nl < 0:
+                tail_len += len(data)
+            else:
+                yield from proc.cpu((tail_len + nl + 1) * coeff)
+                tail_len = len(data) - nl - 1
+        if needs_close:
+            yield from proc.close(fd)
+    blob = b"".join(chunks)
+    bodies = blob.split(b"\n")
+    if bodies and bodies[-1] == b"":
+        bodies.pop()  # trailing newline, not an empty final line
+    n = len(bodies)
+    if n > 1:
+        yield from proc.cpu(n * math.log2(n) * SORT_CMP_COST)
+    bodies.sort(reverse=reverse)
+    if unique:
+        bodies = list(dict.fromkeys(bodies))
+    out_fd = 1
+    close_out = False
+    if "o" in opts:
+        out_fd = yield from proc.open(opts["o"], "w")
+        close_out = True
+    if bodies:
+        yield from proc.write(out_fd, b"\n".join(bodies) + b"\n")
     if close_out:
         yield from proc.close(out_fd)
     return 0
@@ -311,6 +368,17 @@ def uniq(proc: Process, argv: list[str]):
     coeff = cpu_coeff("uniq")
     path = operands[0] if operands else "-"
     fd, needs_close = yield from open_input(proc, path)
+    if not count and not dup_only and not uniq_only:
+        status = yield from _uniq_plain(proc, fd, coeff)
+    else:
+        status = yield from _uniq_lines(proc, fd, count, dup_only, uniq_only, coeff)
+    if needs_close:
+        yield from proc.close(fd)
+    return status
+
+
+def _uniq_lines(proc: Process, fd: int, count: bool, dup_only: bool, uniq_only: bool, coeff: float):
+    """Line-at-a-time uniq; handles the -c/-d/-u variants."""
     stream = LineStream(proc, fd)
     out = OutBuf(proc, 1)
     prev: bytes | None = None
@@ -327,23 +395,65 @@ def uniq(proc: Process, argv: list[str]):
             yield from out.put(line)
 
     while True:
-        line = yield from stream.next_line()
-        if line is None:
+        batch = yield from stream.next_batch()
+        if batch is None:
             break
-        yield from proc.cpu(len(line) * coeff)
-        body = line.rstrip(b"\n") + b"\n"
-        if prev is not None and body == prev:
-            repeat += 1
-        else:
-            if prev is not None:
-                yield from emit(prev, repeat)
-            prev = body
-            repeat = 1
+        if not batch:
+            continue
+        yield from proc.cpu(sum(len(l) for l in batch) * coeff)
+        for line in batch:
+            body = line.rstrip(b"\n") + b"\n"
+            if prev is not None and body == prev:
+                repeat += 1
+            else:
+                if prev is not None:
+                    yield from emit(prev, repeat)
+                prev = body
+                repeat = 1
     if prev is not None:
         yield from emit(prev, repeat)
     yield from out.flush()
-    if needs_close:
-        yield from proc.close(fd)
+    return 0
+
+
+def _uniq_plain(proc: Process, fd: int, coeff: float):
+    """Flagless uniq over raw chunks: groupby collapses runs in C instead
+    of a Python compare per line.  Virtual cost is preserved exactly — the
+    reads are the same CHUNK reads LineStream would issue, the CPU charge
+    per read is the same complete-lines byte count (zero for a chunk with
+    no newline, the bare tail at EOF), and a group's first line is emitted
+    via the same ``out.put`` the moment the group ends."""
+    out = OutBuf(proc, 1)
+    carry: bytes | None = None  # body of the still-open trailing group
+    tail = b""
+    done = False
+    while not done:
+        data = yield from proc.read(fd, CHUNK)
+        if not data:
+            if not tail:
+                break
+            blob, tail, done = tail, b"", True
+            yield from proc.cpu(len(blob) * coeff)
+            bodies = [blob]
+        else:
+            buf = tail + data if tail else data
+            nl = buf.rfind(b"\n")
+            if nl < 0:
+                tail = buf
+                continue
+            blob, tail = buf[: nl + 1], buf[nl + 1 :]
+            yield from proc.cpu(len(blob) * coeff)
+            bodies = blob.split(b"\n")
+            bodies.pop()  # trailing b"" after the final newline
+        keys = [k for k, _ in groupby(bodies)]
+        if carry is not None and (not keys or keys[0] != carry):
+            keys.insert(0, carry)
+        for body in keys[:-1]:
+            yield from out.put(body + b"\n")
+        carry = keys[-1]
+    if carry is not None:
+        yield from out.put(carry + b"\n")
+    yield from out.flush()
     return 0
 
 

@@ -269,14 +269,14 @@ class Tracer:
         ps.bytes_read += nbytes
         self.accounting.proc(proc).pipes_read.add(key)
         self.counter("pipe", f"pipe.depth:{key}", now, node=proc.node.name,
-                     depth=len(pipe.buffer))
+                     depth=pipe.size)
 
     def on_pipe_write(self, now: float, proc, pipe, nbytes: int) -> None:
         key = self.pipe_key(pipe)
         ps = self.accounting.pipe(key)
         ps.writers.add(proc.pid)
         ps.bytes_written += nbytes
-        depth = len(pipe.buffer)
+        depth = pipe.size
         if depth > ps.peak_depth:
             ps.peak_depth = depth
         self.accounting.proc(proc).pipes_written.add(key)

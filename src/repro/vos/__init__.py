@@ -57,10 +57,13 @@ from .syscalls import (
     NetSendReq,
     OpenReq,
     ReadReq,
+    ReadVReq,
     SleepReq,
     SpawnReq,
+    SpliceReq,
     WaitReq,
     WriteReq,
+    WriteVReq,
 )
 
 __all__ = [
@@ -78,5 +81,6 @@ __all__ = [
     "laptop", "profile", "raspberry_pi", "supercomputer_node",
     "Pipe", "CHUNK", "Process",
     "CloseReq", "CpuReq", "DupReq", "NetSendReq", "OpenReq", "ReadReq",
-    "SleepReq", "SpawnReq", "WaitReq", "WriteReq",
+    "ReadVReq", "SleepReq", "SpawnReq", "SpliceReq", "WaitReq", "WriteReq",
+    "WriteVReq",
 ]

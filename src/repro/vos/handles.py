@@ -75,8 +75,11 @@ class Collector(Handle):
         super().__init__()
         self.chunks: list[bytes] = []
 
-    def write_now(self, data: bytes) -> int:
-        self.chunks.append(bytes(data))
+    def write_now(self, data) -> int:
+        # keep bytes chunks by reference; memoryview slices (zero-copy
+        # pipe/write views) are materialized so later mutation of the
+        # underlying buffer cannot alias captured output
+        self.chunks.append(data if type(data) is bytes else bytes(data))
         return len(data)
 
     def getvalue(self) -> bytes:

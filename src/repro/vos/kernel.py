@@ -50,16 +50,38 @@ from .syscalls import (
     NetSendReq,
     OpenReq,
     ReadReq,
+    ReadVReq,
     SleepReq,
     SpawnReq,
+    SpliceReq,
     WaitReq,
     WriteReq,
+    WriteVReq,
 )
 
 #: Exit status for a process killed by SIGPIPE.
 SIGPIPE_STATUS = 141
 
 _EPS = 1e-12
+
+
+class _SpliceState:
+    """Kernel-side pump state for one in-flight :class:`SpliceReq`."""
+
+    __slots__ = ("src", "src_fd", "dsts", "dst_fds", "coeff", "chunk",
+                 "parts", "total", "dst_i", "phase")
+
+    def __init__(self, src, src_fd, dsts, dst_fds, coeff, chunk):
+        self.src = src
+        self.src_fd = src_fd
+        self.dsts = dsts
+        self.dst_fds = dst_fds
+        self.coeff = coeff
+        self.chunk = chunk
+        self.parts: list = []
+        self.total = 0
+        self.dst_i = 0
+        self.phase = "read"
 
 
 class Node:
@@ -103,6 +125,9 @@ class Kernel:
         self._trace_legacy: Optional[Callable[[str], None]] = None
         self._legacy_subscribed = False
         self.steps = 0
+        #: syscall dispatches (one per request crossing the process →
+        #: kernel boundary; splice pumps move data without re-dispatching)
+        self.dispatches = 0
         #: optional repro.vos.faults.FaultPlan consulted at dispatch
         self._faults = None
 
@@ -205,6 +230,7 @@ class Kernel:
 
     def _exit(self, proc: Process, status: int, error: Optional[str] = None) -> None:
         proc.state = DONE
+        proc._splice = None
         proc.exit_status = int(status) & 0xFF if status is not None else 0
         if status is not None and not (0 <= int(status) <= 255):
             proc.exit_status = int(status) & 0xFF
@@ -279,6 +305,11 @@ class Kernel:
             self._step(proc, value, exc)
 
     def _step(self, proc: Process, value=None, exc: Optional[BaseException] = None) -> None:
+        if proc._splice is not None:
+            # the process generator is suspended at a SpliceReq; completions
+            # feed the kernel-side pump instead of the generator
+            self._splice_step(proc, value, exc)
+            return
         self.steps += 1
         try:
             if exc is not None:
@@ -299,6 +330,7 @@ class Kernel:
     # -- syscall dispatch -------------------------------------------------------------
 
     def _dispatch(self, proc: Process, request) -> None:
+        self.dispatches += 1
         tr = self.tracer
         if tr is not None and tr.syscall_events:
             tr.on_syscall(self.now, proc, request)
@@ -308,6 +340,12 @@ class Kernel:
             self._sys_read(proc, request)
         elif isinstance(request, WriteReq):
             self._sys_write(proc, request)
+        elif isinstance(request, ReadVReq):
+            self._sys_read(proc, request, vector=True)
+        elif isinstance(request, WriteVReq):
+            self._sys_writev(proc, request)
+        elif isinstance(request, SpliceReq):
+            self._sys_splice(proc, request)
         elif isinstance(request, OpenReq):
             self._sys_open(proc, request)
         elif isinstance(request, CloseReq):
@@ -335,8 +373,11 @@ class Kernel:
     # CPU ------------------------------------------------------------------------
 
     def _sys_cpu(self, proc: Process, request: CpuReq) -> None:
+        self._charge_cpu(proc, request.seconds)
+
+    def _charge_cpu(self, proc: Process, seconds: float) -> None:
         node = proc.node
-        work = max(_EPS, request.seconds / node.cpu_speed)
+        work = max(_EPS, seconds / node.cpu_speed)
         self._advance_cpu(node)
         node.cpu_active[proc] = work
         tr = self.tracer
@@ -365,23 +406,33 @@ class Kernel:
 
     # IO -----------------------------------------------------------------------------
 
-    def _sys_read(self, proc: Process, request: ReadReq) -> None:
+    def _sys_read(self, proc: Process, request, vector: bool = False) -> None:
         try:
             handle = proc.handle(request.fd)
         except VosError as err:
             self._ready.append((proc, None, err))
             return
+        self._handle_read(proc, handle, request.fd, request.nbytes, vector)
+
+    def _handle_read(self, proc: Process, handle: Handle, fd: int,
+                     nbytes: int, vector: bool) -> None:
+        """Read from a resolved handle; with ``vector`` the completion
+        value is a list of zero-copy chunks instead of one bytes object
+        (same total length either way)."""
         if isinstance(handle, NullHandle):
-            self._ready.append((proc, b"", None))
+            self._ready.append((proc, [] if vector else b"", None))
         elif isinstance(handle, StringSource):
-            self._ready.append((proc, handle.read_now(request.nbytes), None))
+            data = handle.read_now(nbytes)
+            if vector:
+                data = [data] if data else []
+            self._ready.append((proc, data, None))
         elif isinstance(handle, FileHandle):
-            self._file_read(proc, handle, request.nbytes)
+            self._file_read(proc, handle, nbytes, vector)
         elif isinstance(handle, PipeReader):
-            self._pipe_read(proc, handle.pipe, request.nbytes)
+            self._pipe_read(proc, handle.pipe, nbytes, vector)
         else:
             self._ready.append(
-                (proc, None, VosError(f"fd {request.fd} not readable"))
+                (proc, None, VosError(f"fd {fd} not readable"))
             )
 
     def _sys_write(self, proc: Process, request: WriteReq) -> None:
@@ -390,7 +441,9 @@ class Kernel:
         except VosError as err:
             self._ready.append((proc, None, err))
             return
-        data = request.data
+        self._handle_write(proc, handle, request.fd, request.data)
+
+    def _handle_write(self, proc: Process, handle: Handle, fd: int, data) -> None:
         if isinstance(handle, (NullHandle,)):
             self._ready.append((proc, len(data), None))
         elif isinstance(handle, Collector):
@@ -401,7 +454,35 @@ class Kernel:
             self._pipe_write(proc, handle.pipe, data)
         else:
             self._ready.append(
-                (proc, None, VosError(f"fd {request.fd} not writable"))
+                (proc, None, VosError(f"fd {fd} not writable"))
+            )
+
+    def _sys_writev(self, proc: Process, request: WriteVReq) -> None:
+        try:
+            handle = proc.handle(request.fd)
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        self._handle_writev(proc, handle, request.fd, request.parts)
+
+    def _handle_writev(self, proc: Process, handle: Handle, fd: int,
+                       parts: list) -> None:
+        """Write a chunk vector as one logical write (one fault op, one
+        disk request / pipe transfer of the summed length)."""
+        if isinstance(handle, (NullHandle,)):
+            self._ready.append((proc, sum(len(p) for p in parts), None))
+        elif isinstance(handle, Collector):
+            n = 0
+            for part in parts:
+                n += handle.write_now(part)
+            self._ready.append((proc, n, None))
+        elif isinstance(handle, FileHandle):
+            self._file_writev(proc, handle, parts)
+        elif isinstance(handle, PipeWriter):
+            self._pipe_writev(proc, handle.pipe, parts)
+        else:
+            self._ready.append(
+                (proc, None, VosError(f"fd {fd} not writable"))
             )
 
     # file IO through the disk ------------------------------------------------------
@@ -427,31 +508,51 @@ class Kernel:
             return False, max(1.0, factor)
         return False, 1.0  # pragma: no cover - defensive
 
-    def _file_read(self, proc: Process, handle: FileHandle, nbytes: int) -> None:
+    def _file_read(self, proc: Process, handle: FileHandle, nbytes: int,
+                   vector: bool = False) -> None:
         if handle.eof():
-            self._ready.append((proc, b"", None))
+            self._ready.append((proc, [] if vector else b"", None))
             return
         aborted, slow = self._disk_fault(proc, handle)
         if aborted:
             return
         handle.note_io()
         data = handle.read_now(nbytes)
+        result = [data] if vector else data
         disk = handle.disk
         if disk is None:
-            self._ready.append((proc, data, None))
+            self._ready.append((proc, result, None))
             return
         self._disk_submit(
             disk,
-            _DiskRequest(len(data), disk.ops_for(len(data)), proc, data, slow=slow),
+            _DiskRequest(len(data), disk.ops_for(len(data)), proc, result, slow=slow),
         )
 
-    def _file_write(self, proc: Process, handle: FileHandle, data: bytes) -> None:
+    def _file_write(self, proc: Process, handle: FileHandle, data) -> None:
         aborted, slow = self._disk_fault(proc, handle)
         if aborted:
             return
         handle.note_io()
         try:
             n = handle.write_now(data, self.now)
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        disk = handle.disk
+        if disk is None:
+            self._ready.append((proc, n, None))
+            return
+        self._disk_submit(disk, _DiskRequest(n, disk.ops_for(n), proc, n, slow=slow))
+
+    def _file_writev(self, proc: Process, handle: FileHandle, parts: list) -> None:
+        aborted, slow = self._disk_fault(proc, handle)
+        if aborted:
+            return
+        handle.note_io()
+        n = 0
+        try:
+            for part in parts:
+                n += handle.write_now(part, self.now)
         except VosError as err:
             self._ready.append((proc, None, err))
             return
@@ -491,35 +592,48 @@ class Kernel:
 
     # pipes --------------------------------------------------------------------------------
 
-    def _pipe_read(self, proc: Process, pipe: Pipe, nbytes: int) -> None:
+    def _pipe_read(self, proc: Process, pipe: Pipe, nbytes: int,
+                   vector: bool = False) -> None:
         tr = self.tracer
-        if pipe.buffer:
-            data = pipe.pull(nbytes)
+        if pipe.size:
+            if vector:
+                data = pipe.pull_chunks(nbytes)
+                n = sum(len(part) for part in data)
+            else:
+                data = pipe.pull(nbytes)
+                n = len(data)
             if tr is not None:
-                tr.on_pipe_read(self.now, proc, pipe, len(data))
+                tr.on_pipe_read(self.now, proc, pipe, n)
             self._ready.append((proc, data, None))
             self._service_pipe_writers(pipe)
         elif pipe.writers == 0:
-            self._ready.append((proc, b"", None))
+            self._ready.append((proc, [] if vector else b"", None))
         else:
             if tr is not None:
                 tr.on_pipe_stall_begin(self.now, proc, pipe, "read")
-            pipe.read_waiters.append((proc, nbytes))
+            pipe.read_waiters.append((proc, nbytes, vector))
 
-    def _pipe_write(self, proc: Process, pipe: Pipe, data: bytes) -> None:
+    def _pipe_fault(self, proc: Process, pipe: Pipe) -> bool:
+        """Consult the fault plan before a pipe write; True = aborted."""
+        if self.faults is None:
+            return False
+        kind = self.faults.on_pipe_write(self.now, proc, pipe)
+        if kind == PIPE_BREAK:
+            self._ready.append(
+                (proc, None, InjectedPipeBreak(f"pipe {pipe.id}: injected break"))
+            )
+            return True
+        if kind == CRASH:
+            self.kill_process(proc)
+            return True
+        return False
+
+    def _pipe_write(self, proc: Process, pipe: Pipe, data) -> None:
         if pipe.readers == 0:
             self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
             return
-        if self.faults is not None:
-            kind = self.faults.on_pipe_write(self.now, proc, pipe)
-            if kind == PIPE_BREAK:
-                self._ready.append(
-                    (proc, None, InjectedPipeBreak(f"pipe {pipe.id}: injected break"))
-                )
-                return
-            if kind == CRASH:
-                self.kill_process(proc)
-                return
+        if self._pipe_fault(proc, pipe):
+            return
         accepted = pipe.push(data)
         tr = self.tracer
         if tr is not None:
@@ -531,18 +645,43 @@ class Kernel:
         else:
             if tr is not None:
                 tr.on_pipe_stall_begin(self.now, proc, pipe, "write")
-            pipe.write_waiters.append((proc, data[accepted:], accepted))
+            view = data if isinstance(data, memoryview) else memoryview(data)
+            pipe.write_waiters.append((proc, [view[accepted:]], accepted))
+
+    def _pipe_writev(self, proc: Process, pipe: Pipe, parts: list) -> None:
+        if pipe.readers == 0:
+            self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
+            return
+        if self._pipe_fault(proc, pipe):
+            return
+        accepted, remaining = pipe.push_vector(parts)
+        tr = self.tracer
+        if tr is not None:
+            tr.on_pipe_write(self.now, proc, pipe, accepted)
+        if accepted:
+            self._wake_pipe_readers(pipe)
+        if not remaining:
+            self._ready.append((proc, accepted, None))
+        else:
+            if tr is not None:
+                tr.on_pipe_stall_begin(self.now, proc, pipe, "write")
+            pipe.write_waiters.append((proc, remaining, accepted))
 
     def _wake_pipe_readers(self, pipe: Pipe) -> None:
         tr = self.tracer
-        while pipe.read_waiters and (pipe.buffer or pipe.writers == 0):
-            proc, nbytes = pipe.read_waiters.pop(0)
+        while pipe.read_waiters and (pipe.size or pipe.writers == 0):
+            proc, nbytes, vector = pipe.read_waiters.pop(0)
             if proc.state == DONE:
                 continue
-            data = pipe.pull(nbytes)
+            if vector:
+                data = pipe.pull_chunks(nbytes)
+                n = sum(len(part) for part in data)
+            else:
+                data = pipe.pull(nbytes)
+                n = len(data)
             if tr is not None:
-                tr.on_pipe_stall_end(self.now, proc, len(data))
-                tr.on_pipe_read(self.now, proc, pipe, len(data))
+                tr.on_pipe_stall_end(self.now, proc, n)
+                tr.on_pipe_read(self.now, proc, pipe, n)
             self._ready.append((proc, data, None))
         if pipe.read_waiters or not pipe.write_waiters:
             return
@@ -552,20 +691,20 @@ class Kernel:
         tr = self.tracer
         progressed = False
         while pipe.write_waiters and pipe.space() > 0:
-            proc, remaining, done = pipe.write_waiters.pop(0)
+            proc, parts, done = pipe.write_waiters.pop(0)
             if proc.state == DONE:
                 continue
-            accepted = pipe.push(remaining)
+            accepted, remaining = pipe.push_vector(parts)
             progressed = progressed or accepted > 0
             done += accepted
             if tr is not None and accepted:
                 tr.on_pipe_write(self.now, proc, pipe, accepted)
-            if accepted == len(remaining):
+            if not remaining:
                 if tr is not None:
                     tr.on_pipe_stall_end(self.now, proc, done)
                 self._ready.append((proc, done, None))
             else:
-                pipe.write_waiters.insert(0, (proc, remaining[accepted:], done))
+                pipe.write_waiters.insert(0, (proc, remaining, done))
                 break
         if progressed:
             self._wake_pipe_readers(pipe)
@@ -578,6 +717,74 @@ class Kernel:
                 if tr is not None:
                     tr.on_pipe_stall_end(self.now, proc, _done, broken=True)
                 self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
+
+    # splice fast path -----------------------------------------------------------------
+
+    def _sys_splice(self, proc: Process, request: SpliceReq) -> None:
+        """Start a kernel-side pass-through pump: repeatedly read from
+        ``src_fd``, charge ``cpu_coeff * len`` seconds, and write the
+        chunks to every ``dst_fd`` in order — the exact read/cpu/write
+        op sequence (same tracer records, same fault-plan op counts,
+        same virtual time) a ``cat``-style generator loop would issue,
+        minus one generator resume + request object + data copy per op.
+        """
+        try:
+            src = proc.handle(request.src_fd)
+            dsts = [proc.handle(fd) for fd in request.dst_fds]
+        except VosError as err:
+            self._ready.append((proc, None, err))
+            return
+        proc._splice = _SpliceState(src, request.src_fd, dsts,
+                                    request.dst_fds, request.cpu_coeff,
+                                    request.chunk)
+        self._splice_read(proc, proc._splice)
+
+    def _splice_read(self, proc: Process, st: "_SpliceState") -> None:
+        st.phase = "read"
+        self._handle_read(proc, st.src, st.src_fd, st.chunk, vector=True)
+
+    def _splice_write(self, proc: Process, st: "_SpliceState") -> None:
+        st.phase = "write"
+        self._handle_writev(proc, st.dsts[st.dst_i], st.dst_fds[st.dst_i],
+                            st.parts)
+
+    def _splice_step(self, proc: Process, value, exc) -> None:
+        """Advance a pump with a completion ``value`` (or fault ``exc``,
+        which unwinds into the generator exactly like a failed ReadReq /
+        WriteReq would — BrokenPipe mid-splice exits with SIGPIPE)."""
+        st = proc._splice
+        if exc is not None:
+            proc._splice = None
+            self._step(proc, None, exc)
+            return
+        if st.phase == "read":
+            parts = value
+            if not parts:  # EOF: resume the generator with the byte total
+                total = st.total
+                proc._splice = None
+                self._step(proc, total, None)
+                return
+            st.parts = parts
+            nbytes = 0
+            for part in parts:
+                nbytes += len(part)
+            st.total += nbytes
+            seconds = nbytes * st.coeff
+            if seconds > 0:
+                st.phase = "cpu"
+                self._charge_cpu(proc, seconds)
+            else:
+                st.dst_i = 0
+                self._splice_write(proc, st)
+        elif st.phase == "cpu":
+            st.dst_i = 0
+            self._splice_write(proc, st)
+        else:  # write to dsts[dst_i] completed
+            st.dst_i += 1
+            if st.dst_i < len(st.dsts):
+                self._splice_write(proc, st)
+            else:
+                self._splice_read(proc, st)
 
     # open/dup -------------------------------------------------------------------------------
 

@@ -3,9 +3,22 @@
 The bounded buffer is essential for realistic pipeline behaviour: stages
 overlap, fast producers block on slow consumers, and ``head``-style early
 exit propagates upstream as :class:`~repro.vos.errors.BrokenPipe`.
+
+The buffer is a **deque of producer chunks**, not one flat ``bytearray``:
+``push`` keeps whole chunks by reference (``bytes`` or ``memoryview``,
+no slicing copies except when a chunk straddles the capacity limit, where
+a zero-copy ``memoryview`` split is taken) and ``pull_chunks`` hands the
+same objects back to the reader.  This removes the two per-hop copies of
+the old design (``buffer.extend`` on push, ``bytes(buffer[:n])`` +
+``del buffer[:n]`` compaction on pull) while preserving the exact byte
+granularity of the old API: ``pull(nbytes)`` always returns
+``min(nbytes, size)`` bytes, so blocking/wake order — and therefore
+virtual time — is unchanged (DESIGN.md §11).
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from .errors import BrokenPipe
 
@@ -21,7 +34,8 @@ class Pipe:
         Pipe._counter += 1
         self.id = Pipe._counter
         self.capacity = capacity
-        self.buffer = bytearray()
+        self.chunks: deque = deque()  # bytes-like producer chunks
+        self.size = 0  # total buffered bytes across chunks
         self.readers = 0  # open read handles
         self.writers = 0  # open write handles
         self.read_waiters: list = []  # processes blocked on empty buffer
@@ -34,37 +48,110 @@ class Pipe:
 
     @property
     def at_eof(self) -> bool:
-        return self.writers == 0 and not self.buffer
+        return self.writers == 0 and not self.size
 
     @property
     def broken(self) -> bool:
         return self.readers == 0
 
     def space(self) -> int:
-        return self.capacity - len(self.buffer)
+        return self.capacity - self.size
 
     def can_read(self) -> bool:
-        return bool(self.buffer) or self.writers == 0
+        return self.size > 0 or self.writers == 0
 
     def can_write(self) -> bool:
         return self.space() > 0 or self.readers == 0
 
     # -- data movement (kernel performs blocking around these) ----------------
 
-    def push(self, data: bytes) -> int:
-        """Accept up to `space()` bytes; returns count accepted."""
+    def _accept(self, n: int) -> None:
+        self.size += n
+        self.total_bytes += n
+        if self.size > self.peak_bytes:
+            self.peak_bytes = self.size
+
+    def push(self, data) -> int:
+        """Accept up to ``space()`` bytes of one chunk; returns count
+        accepted.  ``data`` may be ``bytes`` or a ``memoryview``; the
+        accepted prefix is kept by reference (a view is taken only when
+        the chunk must be split at the capacity boundary)."""
         if self.readers == 0:
             raise BrokenPipe(f"pipe {self.id}")
         n = min(len(data), self.space())
         if n:
-            self.buffer.extend(data[:n])
-            self.total_bytes += n
-            if len(self.buffer) > self.peak_bytes:
-                self.peak_bytes = len(self.buffer)
+            if n < len(data):
+                data = memoryview(data)[:n]
+            self.chunks.append(data)
+            self._accept(n)
         return n
 
+    def push_vector(self, parts: list) -> tuple[int, list]:
+        """Accept a vector of chunks; returns ``(accepted_bytes,
+        remaining_parts)`` where ``remaining_parts`` references the
+        unaccepted suffix without copying."""
+        if self.readers == 0:
+            raise BrokenPipe(f"pipe {self.id}")
+        accepted = 0
+        for i, part in enumerate(parts):
+            space = self.space()
+            if space <= 0:
+                return accepted, parts[i:]
+            n = len(part)
+            if n == 0:
+                continue
+            if n <= space:
+                self.chunks.append(part)
+                self._accept(n)
+                accepted += n
+            else:
+                view = memoryview(part)
+                self.chunks.append(view[:space])
+                self._accept(space)
+                accepted += space
+                rest = [view[space:]]
+                rest.extend(parts[i + 1:])
+                return accepted, rest
+        return accepted, []
+
+    def pull_chunks(self, nbytes: int) -> list:
+        """Remove and return up to ``nbytes`` bytes as a list of whole
+        producer chunks (zero-copy); the final chunk is split with a
+        ``memoryview`` if it straddles the limit.  Total length is exactly
+        ``min(nbytes, size)``."""
+        out: list = []
+        taken = 0
+        chunks = self.chunks
+        while chunks and taken < nbytes:
+            chunk = chunks[0]
+            n = len(chunk)
+            if taken + n <= nbytes:
+                out.append(chunks.popleft())
+                taken += n
+            else:
+                keep = nbytes - taken
+                view = chunk if isinstance(chunk, memoryview) else memoryview(chunk)
+                out.append(view[:keep])
+                chunks[0] = view[keep:]
+                taken += keep
+        self.size -= taken
+        return out
+
     def pull(self, nbytes: int) -> bytes:
-        n = min(nbytes, len(self.buffer))
-        data = bytes(self.buffer[:n])
-        del self.buffer[:n]
-        return data
+        """Legacy byte-granularity read: exactly ``min(nbytes, size)``
+        bytes, as one ``bytes`` object (zero-copy when a single whole
+        ``bytes`` chunk satisfies the request)."""
+        chunks = self.chunks
+        if chunks and len(chunks[0]) <= nbytes:
+            first = chunks[0]
+            if type(first) is bytes and (len(chunks) == 1 or len(first) == nbytes):
+                chunks.popleft()
+                self.size -= len(first)
+                return first
+        parts = self.pull_chunks(nbytes)
+        if not parts:
+            return b""
+        if len(parts) == 1:
+            part = parts[0]
+            return part if type(part) is bytes else bytes(part)
+        return b"".join(parts)

@@ -13,6 +13,7 @@ requests.  The :class:`Process` helper methods are sub-generators used via
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterator, Optional
 
 from .errors import BadFileDescriptor
@@ -24,16 +25,64 @@ from .syscalls import (
     NetSendReq,
     OpenReq,
     ReadReq,
+    ReadVReq,
     SleepReq,
     SpawnReq,
     WaitReq,
     WriteReq,
+    WriteVReq,
 )
 
 #: Default chunk size processes use for streaming IO.
 CHUNK = 64 * 1024
 
 NEW, RUNNING, DONE = "new", "running", "done"
+
+
+class FdTable(dict):
+    """fd → Handle mapping with O(log n) lowest-free-fd allocation.
+
+    The old ``next_fd`` scanned from 0 on every open — O(n²) across a
+    script that opens many fds.  This subclass keeps a min-heap of
+    candidate free fds below a high-water mark; entries are validated
+    lazily on allocation so arbitrary dict mutation (the interpreter
+    swaps whole tables during redirections) stays correct.
+    """
+
+    def __init__(self, mapping: Optional[dict] = None):
+        super().__init__()
+        self._free: list[int] = []  # candidate free fds, all < _top
+        self._top = 0  # every fd >= _top is free
+        if mapping:
+            for fd, handle in mapping.items():
+                self[fd] = handle
+
+    def __setitem__(self, fd: int, handle: Handle) -> None:
+        if fd >= self._top:
+            for i in range(self._top, fd):
+                heapq.heappush(self._free, i)
+            self._top = fd + 1
+        super().__setitem__(fd, handle)
+
+    def __delitem__(self, fd: int) -> None:
+        super().__delitem__(fd)
+        heapq.heappush(self._free, fd)
+
+    def pop(self, fd, *default):
+        if fd in self:
+            heapq.heappush(self._free, fd)
+        return super().pop(fd, *default)
+
+    def next_free(self) -> int:
+        """Lowest fd not currently mapped (does not reserve it)."""
+        free = self._free
+        while free:
+            fd = free[0]
+            if fd in self:  # stale: was re-assigned directly
+                heapq.heappop(free)
+                continue
+            return fd
+        return self._top
 
 
 class Process:
@@ -43,7 +92,7 @@ class Process:
         self.node = node
         self.kernel = kernel
         self.gen: Optional[Iterator] = None
-        self.fds: dict[int, Handle] = {}
+        self._fds = FdTable()
         self.cwd = "/"
         self.state = NEW
         self.exit_status: Optional[int] = None
@@ -51,21 +100,29 @@ class Process:
         self.waiters: list["Process"] = []
         self.start_time = 0.0
         self.end_time = 0.0
+        self._splice = None  # kernel-side pump state (repro.vos.kernel)
 
     def __repr__(self) -> str:
         return f"<Process {self.pid} {self.name} {self.state}>"
 
+    @property
+    def fds(self) -> FdTable:
+        return self._fds
+
+    @fds.setter
+    def fds(self, mapping) -> None:
+        # the interpreter replaces whole fd tables during redirections;
+        # plain dicts are upgraded so free-fd tracking keeps working
+        self._fds = mapping if isinstance(mapping, FdTable) else FdTable(mapping)
+
     def handle(self, fd: int) -> Handle:
         try:
-            return self.fds[fd]
+            return self._fds[fd]
         except KeyError:
             raise BadFileDescriptor(f"{self.name}: fd {fd}") from None
 
     def next_fd(self) -> int:
-        fd = 0
-        while fd in self.fds:
-            fd += 1
-        return fd
+        return self._fds.next_free()
 
     # -- syscall helper sub-generators ------------------------------------------
 
@@ -78,22 +135,43 @@ class Process:
         return data
 
     def write(self, fd: int, data: bytes):
-        if not data:
+        size = len(data)
+        if not size:
             return 0
+        if size <= CHUNK:
+            n = yield WriteReq(fd, data)
+            return n
+        # zero-copy chunking: each dispatch carries a memoryview slice
+        # (the old code materialized bytes(view[...]) per 64 KB chunk)
         total = 0
         view = memoryview(data)
-        while total < len(data):
-            n = yield WriteReq(fd, bytes(view[total : total + CHUNK]))
+        while total < size:
+            n = yield WriteReq(fd, view[total : total + CHUNK])
             total += n
         return total
 
+    def writev(self, fd: int, parts: list):
+        """Vectored write: one dispatch (no join copy) when the vector
+        fits in CHUNK; otherwise falls back to the chunked ``write``
+        path so blocking granularity is unchanged."""
+        total = 0
+        for part in parts:
+            total += len(part)
+        if total == 0:
+            return 0
+        if total <= CHUNK:
+            n = yield WriteVReq(fd, list(parts))
+            return n
+        result = yield from self.write(fd, b"".join(parts))
+        return result
+
     def read_all(self, fd: int):
-        chunks = []
+        chunks: list = []
         while True:
-            data = yield ReadReq(fd, CHUNK)
-            if not data:
+            parts = yield ReadVReq(fd, CHUNK)
+            if not parts:
                 return b"".join(chunks)
-            chunks.append(data)
+            chunks.extend(parts)
 
     def read_lines(self, fd: int):
         """Not a plain generator-of-lines: yields syscalls, accumulating

@@ -26,6 +26,43 @@ class WriteReq:
 
 
 @dataclass
+class ReadVReq:
+    """Vectored read: like :class:`ReadReq` but the kernel answers with a
+    *list* of zero-copy buffer chunks (possibly ``memoryview``s) whose
+    total length is what a ``ReadReq`` of the same size would have
+    returned.  An empty list means EOF."""
+
+    fd: int
+    nbytes: int
+
+
+@dataclass
+class WriteVReq:
+    """Vectored write: ``parts`` is a list of bytes-like chunks written
+    as **one logical write** (one dispatch, one fault-plan op, one disk
+    request / pipe transfer of ``sum(len(p))`` bytes).  Callers keep each
+    request at or below ``process.CHUNK`` total so blocking granularity
+    matches :class:`WriteReq`."""
+
+    fd: int
+    parts: list
+
+
+@dataclass
+class SpliceReq:
+    """Kernel-side pass-through pump: move bytes from ``src_fd`` to every
+    fd in ``dst_fds`` until EOF, charging ``cpu_coeff`` virtual seconds
+    per byte — replaying exactly the read/cpu/write op sequence a
+    ``cat``-style loop would have issued, in a single dispatch.  Resolves
+    to the total byte count moved."""
+
+    src_fd: int
+    dst_fds: tuple
+    cpu_coeff: float = 0.0
+    chunk: int = 64 * 1024
+
+
+@dataclass
 class OpenReq:
     path: str
     mode: str  # "r" | "w" | "a" | "rw"
@@ -79,6 +116,6 @@ class NetSendReq:
 
 
 Syscall = (
-    CpuReq, ReadReq, WriteReq, OpenReq, CloseReq, DupReq,
-    SpawnReq, WaitReq, SleepReq, NetSendReq,
+    CpuReq, ReadReq, WriteReq, ReadVReq, WriteVReq, SpliceReq,
+    OpenReq, CloseReq, DupReq, SpawnReq, WaitReq, SleepReq, NetSendReq,
 )
