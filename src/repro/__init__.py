@@ -18,6 +18,8 @@ repro.distributed     S12 distributed fault-tolerant shell + POSH placement
 repro.lint            S13 static checks, misuse guard, explain
 repro.bench           S14 benchmark harness
 repro.obs             S15 tracing, resource accounting, critical path
+repro.supervise       S18 crash-consistent supervision: durable journal,
+                          checkpointed restart, streaming ingestion
 ====================  =====================================================
 
 Quickstart::
@@ -35,6 +37,13 @@ from .jit import JashConfig, JashOptimizer
 from .jit.composite import CompositeOptimizer
 from .obs import Tracer
 from .shell import RunResult, Shell, run_script
+from .supervise import (
+    CrashPoint,
+    SimulatedCrash,
+    SuperviseConfig,
+    Supervisor,
+    SyntheticSource,
+)
 from .vos.faults import FaultPlan, FaultSpec
 from .vos.machines import (
     MachineSpec,
@@ -55,5 +64,6 @@ __all__ = [
     "run_script", "MachineSpec", "PROFILES", "aws_c5_2xlarge_gp2",
     "aws_c5_2xlarge_gp3", "laptop", "profile", "raspberry_pi",
     "supercomputer_node", "FaultPlan", "FaultSpec", "RetryPolicy",
-    "Tracer", "__version__",
+    "Tracer", "CrashPoint", "SimulatedCrash", "SuperviseConfig",
+    "Supervisor", "SyntheticSource", "__version__",
 ]

@@ -52,6 +52,25 @@ def _main(argv=None) -> int:
     run_p.add_argument("--no-splice", action="store_true",
                        help="disable the kernel splice fast path (results "
                             "are identical; this exists to prove it)")
+    run_p.add_argument("--supervise", action="store_true",
+                       help="run under the crash-consistent supervisor "
+                            "(journaled rounds, durable checkpoints, "
+                            "resume from --checkpoint after a crash)")
+    run_p.add_argument("--checkpoint", metavar="DIR",
+                       help="checkpoint directory (journal + cache "
+                            "snapshot); required with --supervise")
+    run_p.add_argument("--input", metavar="VIRT", default="/stream.log",
+                       help="virtual path of the growing input "
+                            "(default /stream.log)")
+    run_p.add_argument("--tail", metavar="HOST",
+                       help="host file to tail as the growing input; "
+                            "default is a seeded synthetic log stream")
+    run_p.add_argument("--rounds", type=int, default=1,
+                       help="supervised rounds to run (default 1)")
+    run_p.add_argument("--grow", type=int, default=65536, metavar="BYTES",
+                       help="bytes the synthetic source grows per round")
+    run_p.add_argument("--seed", type=int, default=0,
+                       help="synthetic source seed")
 
     prof_p = sub.add_parser(
         "profile", help="run a script with tracing and print the "
@@ -129,6 +148,8 @@ def _main(argv=None) -> int:
             set_splice_enabled(False)
         text = _script_text(args)
         machine = profile(args.machine)
+        if args.supervise:
+            return _supervise(args, text, machine)
         optimizer = make_engine(args.engine)
         tracer = None
         if args.trace:
@@ -223,6 +244,52 @@ def _main(argv=None) -> int:
         return _difftest(args)
 
     return 2
+
+
+def _supervise(args, text: str, machine) -> int:
+    """``jash run --supervise``: journaled rounds over a growing input,
+    resumable from the checkpoint directory after a crash."""
+    from .supervise import (FileTailSource, Supervisor, SuperviseConfig,
+                            SyntheticSource)
+
+    if not args.checkpoint:
+        print("jash run --supervise requires --checkpoint DIR",
+              file=sys.stderr)
+        return 2
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    source = (FileTailSource(args.tail) if args.tail
+              else SyntheticSource(seed=args.seed))
+    config = SuperviseConfig(script=text, checkpoint_dir=args.checkpoint,
+                             input_path=args.input, machine=machine,
+                             tracer=tracer)
+    supervisor = Supervisor(config, source)
+    repairs = supervisor.resume()
+    if repairs["records"]:
+        print(f"[resumed: {repairs['records']} committed round(s), "
+              f"input offset {supervisor.journal.input_offset}, repaired "
+              f"{repairs['torn_tail_bytes']}B torn tail / "
+              f"{repairs['orphan_segs']} orphan seg(s)]", file=sys.stderr)
+    for _ in range(max(1, args.rounds)):
+        if not args.tail:
+            source.grow(args.grow)
+        report = supervisor.run_round()
+        print(f"[round {report.round}: engine {report.engine}, "
+              f"{report.attempts} attempt(s), {report.mode} commit, "
+              f"output {report.output_len}B, saved {report.saved_bytes}B]",
+              file=sys.stderr)
+    sys.stdout.buffer.write(supervisor.committed_output())
+    sys.stdout.flush()
+    if tracer is not None:
+        from .obs import dump_chrome
+
+        dump_chrome(tracer, args.trace)
+        print(f"[trace: {len(tracer.records)} records -> {args.trace}]",
+              file=sys.stderr)
+    return 0
 
 
 def _difftest(args) -> int:

@@ -174,6 +174,7 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
     retryable = (not uses_stdin) or (stdin_offset is not None)
 
     retry_no = 0
+    first_attempt_start = kernel.now
     while True:
         report.attempts += 1
         mark = faults.fired
@@ -210,14 +211,17 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
         if uses_stdin and stdin_offset is not None:
             stdin_handle.offset = stdin_offset
         retry_no += 1
+        # the unified retry decision point: counts AND the virtual
+        # elapsed budget (max_elapsed_s) live in the policy, not here
+        delay = policy.next_delay(retry_no,
+                                  elapsed_s=kernel.now - first_attempt_start)
         if tracer is not None:
             tracer.instant("tx", "tx.rollback", kernel.now, proc,
                            attempt=report.attempts, status=status,
-                           retrying=retryable and policy.should_retry(retry_no))
-        if not retryable or not policy.should_retry(retry_no):
+                           retrying=retryable and delay is not None)
+        if not retryable or delay is None:
             report.gave_up = True
             return status
         report.retries += 1
-        delay = policy.delay(retry_no)
         if delay > 0:
             yield from proc.sleep(delay)

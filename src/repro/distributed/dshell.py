@@ -30,7 +30,7 @@ from ..vos.handles import Collector, NullHandle, StringSource, make_pipe
 from ..vos.process import CHUNK, Process
 from .cluster import Cluster
 from .placement import Placement, PlacementError, central, data_aware
-from .retry import RetryPolicy, policy_from_max_retries
+from .retry import RetryPolicy, policy_from_max_retries, spawn_watchdog
 
 
 @dataclass
@@ -164,9 +164,10 @@ class DistributedShell:
                 pending = []
                 if failed:
                     attempt += 1
-                    if not policy.should_retry(attempt):
+                    delay = policy.next_delay(attempt,
+                                              elapsed_s=kernel.now - start)
+                    if delay is None:
                         return 1
-                    delay = policy.delay(attempt)
                     if delay > 0:
                         yield from proc.sleep(delay)
                     retries_box["count"] += len(failed)
@@ -213,27 +214,16 @@ class DistributedShell:
     # -- watchdog ------------------------------------------------------------------
 
     def _arm_watchdog(self, proc: Process, pids: list[int], policy: RetryPolicy):
-        """When the policy sets a timeout, spawn a watchdog that kills
-        the branch's processes if they are still running after
-        ``timeout_s`` virtual seconds — a stalled branch (e.g. a disk
+        """When the policy sets a timeout, arm the shared retry-layer
+        watchdog (:func:`repro.distributed.retry.spawn_watchdog`) over
+        the branch's processes — a stalled branch (e.g. a disk
         brown-out) then surfaces as status 137 and is retried like any
         other failure."""
         if policy.timeout_s is None:
             return
             yield  # pragma: no cover - keep generator shape
-        kernel = self.cluster.kernel
-
-        def watchdog(wproc: Process, pids=tuple(pids),
-                     timeout=policy.timeout_s):
-            yield from wproc.sleep(timeout)
-            from ..vos.process import DONE
-            for pid in pids:
-                victim = kernel.processes.get(pid)
-                if victim is not None and victim.state != DONE:
-                    kernel.kill_process(victim)
-            return 0
-
-        yield from proc.spawn(watchdog, name="watchdog")
+        yield from spawn_watchdog(proc, self.cluster.kernel, pids,
+                                  policy.timeout_s)
 
     # -- branch construction -------------------------------------------------------
 

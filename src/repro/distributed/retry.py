@@ -36,10 +36,21 @@ class RetryPolicy:
     jitter: float = 0.0  # fraction of the delay, drawn deterministically
     seed: int = 0
     timeout_s: Optional[float] = None
+    #: total virtual seconds (attempt time + backoff) after which no
+    #: further retry is started; None = unbounded
+    max_elapsed_s: Optional[float] = None
 
-    def should_retry(self, retry_index: int) -> bool:
-        """May we start re-execution number ``retry_index`` (1-based)?"""
-        return 1 <= retry_index <= self.max_retries
+    def should_retry(self, retry_index: int,
+                     elapsed_s: float = 0.0) -> bool:
+        """May we start re-execution number ``retry_index`` (1-based)?
+        ``elapsed_s`` is virtual time spent since the first attempt
+        began — once it exceeds ``max_elapsed_s`` the budget is gone
+        regardless of the retry count."""
+        if not 1 <= retry_index <= self.max_retries:
+            return False
+        if self.max_elapsed_s is not None and elapsed_s >= self.max_elapsed_s:
+            return False
+        return True
 
     def delay(self, retry_index: int) -> float:
         """Virtual seconds to back off before re-execution ``retry_index``."""
@@ -52,6 +63,22 @@ class RetryPolicy:
             d *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
         return max(0.0, d)
 
+    def next_delay(self, retry_index: int,
+                   elapsed_s: float = 0.0) -> Optional[float]:
+        """The single retry decision point: ``None`` means give up
+        (count or elapsed budget exhausted), otherwise the virtual
+        backoff before re-execution ``retry_index``.  Every recovery
+        layer (transactional regions, dshell branches, the supervisor)
+        must route its loop through here rather than hand-rolling
+        sleep/attempt arithmetic."""
+        if not self.should_retry(retry_index, elapsed_s):
+            return None
+        d = self.delay(retry_index)
+        if self.max_elapsed_s is not None:
+            # never sleep past the elapsed budget
+            d = min(d, max(0.0, self.max_elapsed_s - elapsed_s))
+        return d
+
     def attempts(self) -> int:
         """Total executions allowed (first try + retries)."""
         return 1 + max(0, self.max_retries)
@@ -63,3 +90,51 @@ NO_RETRY = RetryPolicy(max_retries=0)
 def policy_from_max_retries(max_retries: int) -> RetryPolicy:
     """Adapter for the legacy ``max_retries=N`` keyword arguments."""
     return RetryPolicy(max_retries=max(0, max_retries))
+
+
+def spawn_watchdog(proc, kernel, pids, timeout_s: Optional[float],
+                   name: str = "watchdog"):
+    """Arm a virtual-time watchdog over ``pids`` (generator; use with
+    ``yield from``).  After ``timeout_s`` virtual seconds any still-
+    running victim is SIGKILLed (status 137), so a stalled branch or
+    region surfaces as an ordinary fault-suspected failure and is
+    retried by whatever :class:`RetryPolicy` loop owns it.  This is the
+    one watchdog implementation shared by dshell and the supervisor.
+    No-op when ``timeout_s`` is None."""
+    if timeout_s is None:
+        return None
+    from ..vos.process import DONE
+
+    def watchdog(wproc, pids=tuple(pids), timeout=timeout_s):
+        yield from wproc.sleep(timeout)
+        for pid in pids:
+            victim = kernel.processes.get(pid)
+            if victim is not None and victim.state != DONE:
+                kernel.kill_process(victim)
+        return 0
+
+    pid = yield from proc.spawn(watchdog, name=name)
+    return pid
+
+
+def arm_watchdog(kernel, timeout_s: Optional[float],
+                 name: str = "watchdog"):
+    """Host-side variant of :func:`spawn_watchdog` for callers outside
+    any vOS process (the supervisor arming a whole-script timeout):
+    creates the watchdog process directly on ``kernel``.  After
+    ``timeout_s`` virtual seconds every *other* still-running process
+    is SIGKILLed.  Returns the watchdog Process — disarm it with
+    ``kernel.kill_process`` once the guarded run finished (a killed
+    watchdog's pending timer is inert).  None timeout = no-op."""
+    if timeout_s is None:
+        return None
+    from ..vos.process import DONE
+
+    def watchdog(wproc, timeout=timeout_s):
+        yield from wproc.sleep(timeout)
+        for victim in list(kernel.processes.values()):
+            if victim is not wproc and victim.state != DONE:
+                kernel.kill_process(victim)
+        return 0
+
+    return kernel.create_process(watchdog, name=name)

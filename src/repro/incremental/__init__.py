@@ -3,9 +3,10 @@ specifications + JIT runtime information (paper §4)."""
 
 from .cache import CacheEntry, IncrementalCache
 from .engine import IncEvent, IncrementalConfig, IncrementalOptimizer
-from .fingerprint import digest, file_fingerprint, region_key
+from .fingerprint import PrefixHasher, digest, file_fingerprint, region_key
 
 __all__ = [
     "CacheEntry", "IncrementalCache", "IncEvent", "IncrementalConfig",
-    "IncrementalOptimizer", "digest", "file_fingerprint", "region_key",
+    "IncrementalOptimizer", "PrefixHasher", "digest", "file_fingerprint",
+    "region_key",
 ]

@@ -4,10 +4,16 @@ Entries record, for a region key (command argvs + input fingerprints),
 the produced output and enough provenance to support *delta* reuse:
 when an input grows append-only and the region is stateless, only the
 appended suffix needs processing.
+
+Entries also carry an ``output_sha`` self-check: a truncated or
+corrupted entry (torn write in a durable snapshot, bit rot) is detected
+on use and dropped — the engine falls back to recompute with a traced
+``inc.cache_invalid`` event rather than replaying stale bytes.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -22,6 +28,19 @@ class CacheEntry:
     input_sizes: list[int] = field(default_factory=list)
     input_prefix_fps: list[str] = field(default_factory=list)  # fp of full old content
     hits: int = 0
+    #: integrity self-check (sha256 of ``output``; "" = legacy, unchecked)
+    output_sha: str = ""
+    #: sampled boundary fingerprints (first/last spot_check_bytes of the
+    #: old content) for O(delta) append validation in "sampled" mode
+    input_head_fps: list[str] = field(default_factory=list)
+    input_tail_fps: list[str] = field(default_factory=list)
+
+    def verify_output(self) -> bool:
+        """Does ``output`` still match its recorded digest?  Entries
+        without one (legacy or hand-built in tests) pass trivially."""
+        if not self.output_sha:
+            return True
+        return hashlib.sha256(self.output).hexdigest() == self.output_sha
 
 
 class IncrementalCache:
@@ -34,6 +53,10 @@ class IncrementalCache:
         self.hits = 0
         self.misses = 0
         self.delta_hits = 0
+        self.invalidated = 0
+        #: process-local chained hashers (path -> PrefixHasher) keeping
+        #: full-content fingerprints at O(delta) cost for growing inputs
+        self.hashers: dict[str, object] = {}
 
     def get(self, key: str) -> Optional[CacheEntry]:
         entry = self.entries.get(key)
@@ -59,6 +82,17 @@ class IncrementalCache:
             return None
         return self.entries.get(key)
 
+    def invalidate(self, key: str) -> None:
+        """Drop a corrupted/stale entry (and any delta pointer to it)."""
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return
+        self.size_bytes -= len(entry.output)
+        self.invalidated += 1
+        for pkey, target in list(self.latest_for_paths.items()):
+            if target == key:
+                del self.latest_for_paths[pkey]
+
     def _evict(self) -> None:
         if self.size_bytes <= self.capacity_bytes:
             return
@@ -76,4 +110,5 @@ class IncrementalCache:
             "hits": self.hits,
             "delta_hits": self.delta_hits,
             "misses": self.misses,
+            "invalidated": self.invalidated,
         }

@@ -27,16 +27,24 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..annotations.library import DEFAULT_LIBRARY
-from ..annotations.model import ParClass, SpecLibrary
+from ..annotations.model import AggKind, Aggregator, ParClass, SpecLibrary
 from ..dfg.from_ast import Region, build_dfg, region_from_argvs
-from ..dfg.graph import CMD, RANGE_READ, DataflowGraph
+from ..dfg.graph import (
+    CMD,
+    CONCAT_MERGE,
+    RANGE_READ,
+    SORT_KWAY,
+    SUM_MERGE,
+    DataflowGraph,
+)
 from ..jit.frontend import expand_region, pipeline_stages, purity_reason
 from ..jit.runtime_info import region_input_files
 from ..parser.ast_nodes import Command
 from ..parser.unparse import unparse
+from ..vos.faults import FAULT_STATUSES
 from ..vos.handles import Collector
 from .cache import CacheEntry, IncrementalCache
-from .fingerprint import digest, region_key
+from .fingerprint import PrefixHasher, digest, region_key
 
 
 @dataclass
@@ -54,6 +62,18 @@ class IncrementalConfig:
     spot_check_bytes: int = 1024
     #: minimum input size worth caching at all
     min_input_bytes: int = 4096
+    #: how to validate an append-only delta before reusing the prefix:
+    #: "full" re-hashes the whole old prefix (exact; the default);
+    #: "sampled" checks the head and the bytes at the append boundary
+    #: plus the chained prefix digest — O(delta) per round, for
+    #: continuous-ingestion supervision where inputs only ever grow
+    delta_verify: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.delta_verify not in ("full", "sampled"):
+            raise ValueError(
+                f"delta_verify must be 'full' or 'sampled', "
+                f"got {self.delta_verify!r}")
 
 
 class IncrementalOptimizer:
@@ -100,6 +120,15 @@ class IncrementalOptimizer:
         key = region_key(argvs, fps)
 
         entry = self.cache.get(key)
+        if entry is not None and entry.status in FAULT_STATUSES:
+            # a fault-killed result (from an old snapshot): not a value
+            self._invalid(proc, key, "cached fault status")
+            entry = None
+        if entry is not None and not entry.verify_output():
+            # torn/corrupted entry (e.g. a mangled durable snapshot):
+            # never replay stale bytes — drop it and recompute
+            self._invalid(proc, key, "output digest mismatch")
+            entry = None
         if entry is not None:
             status = yield from self._replay(region, proc, entry.output,
                                              interp.state.cwd)
@@ -107,8 +136,37 @@ class IncrementalOptimizer:
                        saved_bytes=total)
             return entry.status if status == 0 else status
 
-        # append-only delta path
         prev = self.cache.latest(argv_sig, input_files)
+        if prev is not None and (prev.status in FAULT_STATUSES
+                                 or not prev.verify_output()):
+            self._invalid(proc, prev.key, "unusable delta base")
+            prev = None
+
+        # content-identical replay: the exact key embeds mtimes, so a
+        # fresh kernel (supervised restart) misses it even when the
+        # bytes are unchanged — fall back to content digests
+        if (
+            prev is not None
+            and [fs.size(p) for p in input_files] == prev.input_sizes
+            and all(digest(fs.read_bytes(p)) == fp
+                    for p, fp in zip(input_files, prev.input_prefix_fps))
+        ):
+            status = yield from self._replay(region, proc, prev.output,
+                                             interp.state.cwd)
+            self._store(key, argv_sig, prev.output, prev.status,
+                        input_files, fs)
+            self._note(text, "replayed", "content unchanged (digest)",
+                       saved_bytes=total)
+            return prev.status if status == 0 else status
+
+        # Snapshot the fault counter: POSIX pipeline status can mask an
+        # upstream fault death (a torn write in a stage whose consumers
+        # survive still exits the *pipeline* 0), so results computed
+        # while any fault fired are never cached — a poisoned entry
+        # would be digest-replayed on the very retry meant to fix it.
+        fired_before = self._fired(proc)
+
+        # append-only delta path
         if (
             prev is not None
             and len(input_files) == 1
@@ -124,16 +182,51 @@ class IncrementalOptimizer:
             st2 = yield from self._replay(region, proc, output,
                                           interp.state.cwd)
             self.cache.delta_hits += 1
-            self.cache.put(
-                CacheEntry(key, output, status, list(input_files),
-                           [fs.size(p) for p in input_files],
-                           [digest(fs.read_bytes(p)) for p in input_files]),
-                argv_sig,
-            )
+            if self._fired(proc) == fired_before:
+                self._store(key, argv_sig, output, status, input_files, fs,
+                            appended_from=old_size)
             self._note(text, "extended",
                        f"append-only delta: reused {old_size} bytes",
                        saved_bytes=old_size)
             return status if st2 == 0 else st2
+
+        # aggregator-merge delta: a stateless prefix feeding one
+        # parallelizable-pure final stage (sort, wc, uniq).  The region
+        # runs over only the appended suffix and the final stage's PaSh
+        # aggregator folds that partial result into the cached output —
+        # sort never re-sorts the committed prefix, wc never re-counts
+        # it.  This is what keeps continuous ingestion cheap for
+        # pipelines the plain append path cannot touch.
+        agg = self._delta_aggregator(region)
+        if (
+            prev is not None
+            and prev.status == 0
+            and agg is not None
+            and len(input_files) == 1
+            and self._grew_append_only(fs, input_files[0], prev)
+        ):
+            old_size = prev.input_sizes[0]
+            delta_out, status = yield from self._run_suffix(
+                region, proc, input_files[0], old_size, interp.state.cwd
+            )
+            if status == 0:
+                output = yield from self._merge_outputs(
+                    agg, prev.output, delta_out, proc, interp.state.cwd)
+            else:
+                output = None
+            if output is not None:
+                st2 = yield from self._replay(region, proc, output,
+                                              interp.state.cwd)
+                self.cache.delta_hits += 1
+                if self._fired(proc) == fired_before:
+                    self._store(key, argv_sig, output, 0, input_files, fs,
+                                appended_from=old_size)
+                self._note(text, "extended",
+                           f"aggregator merge ({agg.kind.value}): "
+                           f"reused {old_size} bytes",
+                           saved_bytes=old_size)
+                return st2
+            # a fault killed the suffix run or the merge: recompute
 
         # full compute with capture
         collector = Collector()
@@ -141,13 +234,12 @@ class IncrementalOptimizer:
                                                  interp.state.cwd)
         output = collector.getvalue()
         st2 = yield from self._replay(region, proc, output, interp.state.cwd)
-        self.cache.put(
-            CacheEntry(key, output, status, list(input_files),
-                       [fs.size(p) for p in input_files],
-                       [digest(fs.read_bytes(p)) for p in input_files]),
-            argv_sig,
-        )
-        self._note(text, "computed", "cache miss; result stored")
+        if self._fired(proc) == fired_before:
+            self._store(key, argv_sig, output, status, input_files, fs)
+            self._note(text, "computed", "cache miss; result stored")
+        else:
+            self._note(text, "computed", "fault fired mid-region; "
+                                         "result not cached")
         return status if st2 == 0 else st2
 
     # -- helpers -------------------------------------------------------------------
@@ -156,14 +248,148 @@ class IncrementalOptimizer:
               saved_bytes: int = 0) -> None:
         self.events.append(IncEvent(text, decision, reason, saved_bytes))
 
+    def _fired(self, proc) -> int:
+        """Total faults the kernel's plan has injected so far (0 when
+        no plan is installed)."""
+        plan = getattr(proc.kernel, "faults", None)
+        return plan.fired if plan is not None else 0
+
+    def _invalid(self, proc, key: str, reason: str) -> None:
+        """Drop a failed-integrity entry and leave a trace breadcrumb."""
+        self.cache.invalidate(key)
+        tracer = getattr(proc.kernel, "tracer", None)
+        if tracer is not None:
+            tracer.instant("inc", "inc.cache_invalid", proc.kernel.now, proc,
+                           key=key[:16], reason=reason)
+
+    def _store(self, key: str, argv_sig: str, output: bytes, status: int,
+               input_files, fs, appended_from: Optional[int] = None) -> None:
+        """Record a region result with full integrity provenance: output
+        digest, full-content fingerprints (chained — O(delta) when the
+        input grew append-only), and boundary spot fingerprints."""
+        if status in FAULT_STATUSES:
+            # a fault-killed region produced garbage, not a result:
+            # caching it would replay the failure forever
+            return
+        k = self.config.spot_check_bytes
+        sizes, prefix_fps, head_fps, tail_fps = [], [], [], []
+        for path in input_files:
+            data = fs.read_bytes(path)
+            size = len(data)
+            if appended_from is not None and len(input_files) == 1:
+                fp = self._chained_digest(path, data, appended_from)
+            else:
+                hasher = PrefixHasher.seeded(data)
+                self.cache.hashers[path] = hasher
+                fp = hasher.hexdigest()
+            sizes.append(size)
+            prefix_fps.append(fp)
+            head_fps.append(digest(data[:min(k, size)]))
+            tail_fps.append(digest(data[max(0, size - k):]))
+        self.cache.put(
+            CacheEntry(key, output, status, list(input_files), sizes,
+                       prefix_fps, output_sha=digest(output),
+                       input_head_fps=head_fps, input_tail_fps=tail_fps),
+            argv_sig,
+        )
+
+    def _chained_digest(self, path: str, data: bytes, old_size: int) -> str:
+        """Full-content digest after an append, advancing the cached
+        chained hasher with only the delta when its state lines up."""
+        hasher = self.cache.hashers.get(path)
+        if isinstance(hasher, PrefixHasher) and hasher.length == old_size:
+            hasher = hasher.copy().advance(data[old_size:])
+        else:
+            hasher = PrefixHasher.seeded(data)
+        self.cache.hashers[path] = hasher
+        return hasher.hexdigest()
+
+    #: aggregator kinds whose merge of a contiguous (prefix, suffix)
+    #: split is byte-faithful to a from-scratch run
+    _AGG_DELTA_KINDS = (AggKind.CONCAT, AggKind.SUM, AggKind.SORT_MERGE,
+                        AggKind.RERUN)
+
+    def _delta_aggregator(self, region: Region) -> Optional[Aggregator]:
+        """The aggregator that can fold ``region(delta)`` into the
+        cached ``region(prefix)``, or None.  Requires every stage but
+        the last to be stateless (all-stateless regions belong to the
+        plain append path) and the last to carry a mergeable PaSh
+        aggregator."""
+        last = region.stages[-1].spec
+        if any(s.spec.par_class is not ParClass.STATELESS
+               for s in region.stages[:-1]):
+            return None
+        if (last.par_class is ParClass.PARALLELIZABLE_PURE
+                and last.aggregator is not None
+                and last.aggregator.kind in self._AGG_DELTA_KINDS):
+            return last.aggregator
+        return None
+
+    def _merge_outputs(self, agg: Aggregator, old: bytes, delta: bytes,
+                       proc, cwd: str):
+        """Merge two partial region outputs with the runtime's own
+        aggregator bodies (the same nodes the parallel compiler plants),
+        so the merged bytes match a from-scratch run exactly.  Returns
+        None if a fault kills the merge."""
+        if agg.kind is AggKind.CONCAT:
+            return old + delta
+        from ..compiler.runtime import execute_graph
+
+        fs = proc.fs
+        self._merge_seq = getattr(self, "_merge_seq", 0) + 1
+        parts = [f"/.inc-merge-{self._merge_seq}{tag}" for tag in "ab"]
+        dfg = DataflowGraph()
+        ins = []
+        for path, blob in zip(parts, (old, delta)):
+            fs.write_bytes(path, blob)
+            stream = dfg.new_stream()
+            dfg.add_node(RANGE_READ,
+                         params={"segments": [(path, 0, len(blob))],
+                                 "path": path, "start": 0,
+                                 "end": len(blob)},
+                         outputs=(stream,))
+            ins.append(stream)
+        merged = dfg.new_stream()
+        if agg.kind is AggKind.SORT_MERGE:
+            dfg.add_node(SORT_KWAY, params={"argv": list(agg.argv)},
+                         inputs=tuple(ins), outputs=(merged,))
+        elif agg.kind is AggKind.SUM:
+            dfg.add_node(SUM_MERGE, inputs=tuple(ins), outputs=(merged,))
+        else:  # RERUN: re-apply the command to the concatenation
+            concat = dfg.new_stream()
+            dfg.add_node(CONCAT_MERGE, inputs=tuple(ins),
+                         outputs=(concat,))
+            dfg.add_node(CMD, tuple(agg.argv), inputs=(concat,),
+                         outputs=(merged,))
+        dfg.sink = merged
+        collector = Collector()
+        status = yield from execute_graph(
+            dfg, proc, stdout_handle=collector,
+            stderr_handle=proc.fds.get(2), cwd=cwd,
+        )
+        for path in parts:
+            fs.unlink(path)
+        return collector.getvalue() if status == 0 else None
+
     def _grew_append_only(self, fs, path: str, prev: CacheEntry) -> bool:
-        """Did ``path`` grow by appending?  Cheap size check plus a spot
-        check that the stored prefix digest matches the current prefix."""
+        """Did ``path`` grow by appending?  "full" mode re-hashes the
+        whole old prefix; "sampled" mode checks only the head and the
+        bytes at the append boundary (O(delta) per round — in-place
+        edits far from both are traded away for throughput, which is
+        why "full" stays the default)."""
         old_size = prev.input_sizes[0]
         new_size = fs.size(path)
         if new_size <= old_size:
             return False
         data = fs.read_bytes(path)
+        if (self.config.delta_verify == "sampled"
+                and prev.input_head_fps and prev.input_tail_fps):
+            k = self.config.spot_check_bytes
+            head_ok = (digest(data[:min(k, old_size)])
+                       == prev.input_head_fps[0])
+            tail_ok = (digest(data[max(0, old_size - k):old_size])
+                       == prev.input_tail_fps[0])
+            return head_ok and tail_ok
         return digest(data[:old_size]) == prev.input_prefix_fps[0]
 
     def _execute_region(self, region: Region, proc, sink, cwd: str):

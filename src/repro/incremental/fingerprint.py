@@ -9,6 +9,45 @@ def digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+class PrefixHasher:
+    """Chained digest over a growing prefix.
+
+    ``advance(delta)`` folds only the appended bytes in, yet
+    ``hexdigest()`` always equals ``digest(<full prefix>)`` — so a
+    continuously-ingesting pipeline can maintain full-content
+    fingerprints at O(delta) cost per round instead of re-hashing the
+    whole input.  The underlying hash state is process-local (hashlib
+    states are not serializable); durable checkpoints persist the
+    hexdigest and re-seed with :meth:`seeded` on resume.
+    """
+
+    __slots__ = ("_h", "length")
+
+    def __init__(self):
+        self._h = hashlib.sha256()
+        self.length = 0
+
+    def advance(self, delta: bytes) -> "PrefixHasher":
+        self._h.update(delta)
+        self.length += len(delta)
+        return self
+
+    def copy(self) -> "PrefixHasher":
+        clone = PrefixHasher()
+        clone._h = self._h.copy()
+        clone.length = self.length
+        return clone
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+    @classmethod
+    def seeded(cls, data: bytes) -> "PrefixHasher":
+        """A hasher re-seeded over existing content (one O(n) pass,
+        e.g. after a crash-recovery restart)."""
+        return cls().advance(data)
+
+
 def file_fingerprint(fs, path: str) -> str | None:
     """Fingerprint of a file's contents; None when it does not exist."""
     if not fs.is_file(path):

@@ -1,0 +1,31 @@
+"""S18 — crash-consistent supervision for long-running and streaming
+pipelines (paper §4 "Incremental Computation" + "fault tolerant").
+
+A :class:`Supervisor` re-drives a script as its input grows, journaling
+each committed round to a durable, fsync-ordered checkpoint directory.
+After a crash — a simulated host crash at any point in the commit
+protocol, or injected vOS faults mid-run — a fresh supervisor restores
+from the journal, re-seals partially-staged state, and resumes from the
+last committed offset with byte-identical final output.
+"""
+
+from .checkpoint import CheckpointError, load_cache, load_manifest, save_cache, save_manifest
+from .journal import Journal, JournalRecord
+from .stream import FileTailSource, SyntheticSource
+from .supervisor import (
+    CrashPoint,
+    RoundReport,
+    SimulatedCrash,
+    SuperviseConfig,
+    SuperviseError,
+    Supervisor,
+)
+
+__all__ = [
+    "CheckpointError", "load_cache", "load_manifest", "save_cache",
+    "save_manifest",
+    "Journal", "JournalRecord",
+    "FileTailSource", "SyntheticSource",
+    "CrashPoint", "RoundReport", "SimulatedCrash", "SuperviseConfig",
+    "SuperviseError", "Supervisor",
+]

@@ -1,0 +1,163 @@
+"""Durable snapshots of incremental-cache state + the run manifest.
+
+The cache snapshot makes a supervised restart *warm*: after a crash the
+new process re-seeds its :class:`~repro.incremental.IncrementalCache`
+from disk, so resumed rounds extend cached outputs instead of
+recomputing the whole input (the <50% recompute guarantee measured by
+``benchmarks/bench_recovery.py``).
+
+Snapshot format (``cache.bin``, written tmp + fsync + rename so a crash
+never leaves a half-written snapshot under the final name):
+
+* one header line of JSON;
+* per entry: a JSON meta line (key, status, provenance fingerprints,
+  an ``output_sha`` self-check, and the payload length) followed by the
+  raw output bytes and a newline;
+* a trailer line carrying the cache's delta-lookup map.
+
+Loading is defensive in depth: a torn file stops at the last complete
+entry, and an entry whose payload fails its digest is skipped — the
+engine additionally re-verifies ``output_sha`` on every replay, so even
+a snapshot corrupted *after* loading can never leak stale bytes into
+pipeline output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from ..incremental.cache import CacheEntry, IncrementalCache
+
+CACHE_NAME = "cache.bin"
+MANIFEST_NAME = "MANIFEST.json"
+
+
+class CheckpointError(Exception):
+    pass
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    tmp = os.path.join(os.path.dirname(path),
+                       ".tmp-" + os.path.basename(path))
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.rename(tmp, path)
+
+
+def save_cache(root: str, cache: IncrementalCache) -> str:
+    """Snapshot ``cache`` into ``<root>/cache.bin`` atomically."""
+    os.makedirs(root, exist_ok=True)
+    chunks: list[bytes] = []
+    chunks.append(json.dumps({"v": 1, "entries": len(cache.entries)}).encode()
+                  + b"\n")
+    for key, entry in cache.entries.items():
+        meta = {
+            "key": entry.key,
+            "status": entry.status,
+            "input_paths": entry.input_paths,
+            "input_sizes": entry.input_sizes,
+            "input_prefix_fps": entry.input_prefix_fps,
+            "input_head_fps": entry.input_head_fps,
+            "input_tail_fps": entry.input_tail_fps,
+            "output_sha": entry.output_sha or _sha(entry.output),
+            "output_len": len(entry.output),
+        }
+        chunks.append(json.dumps(meta, sort_keys=True).encode() + b"\n")
+        chunks.append(entry.output + b"\n")
+    latest = [[sig, list(paths), key]
+              for (sig, paths), key in cache.latest_for_paths.items()]
+    chunks.append(json.dumps({"latest": latest}, sort_keys=True).encode()
+                  + b"\n")
+    path = os.path.join(root, CACHE_NAME)
+    _atomic_write(path, b"".join(chunks))
+    return path
+
+
+def load_cache(root: str,
+               cache: Optional[IncrementalCache] = None) -> IncrementalCache:
+    """Rebuild an :class:`IncrementalCache` from a snapshot, skipping
+    torn or digest-mismatched entries.  Missing snapshot = empty cache."""
+    cache = cache if cache is not None else IncrementalCache()
+    path = os.path.join(root, CACHE_NAME)
+    if not os.path.exists(path):
+        return cache
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    offset = raw.find(b"\n")
+    if offset < 0:
+        return cache
+    offset += 1  # past the header
+    entries: dict[str, CacheEntry] = {}
+    latest: list = []
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            break
+        try:
+            meta = json.loads(raw[offset:newline])
+        except (ValueError, UnicodeDecodeError):
+            break
+        if "latest" in meta:
+            latest = meta["latest"]
+            break
+        try:
+            out_len = int(meta["output_len"])
+        except (KeyError, TypeError, ValueError):
+            break
+        start = newline + 1
+        end = start + out_len
+        if end + 1 > len(raw):  # torn payload
+            break
+        output = raw[start:end]
+        offset = end + 1
+        if _sha(output) != meta.get("output_sha"):
+            continue  # corrupted entry: skip, never replay stale bytes
+        entry = CacheEntry(
+            key=meta["key"], output=output, status=int(meta["status"]),
+            input_paths=list(meta.get("input_paths", [])),
+            input_sizes=list(meta.get("input_sizes", [])),
+            input_prefix_fps=list(meta.get("input_prefix_fps", [])),
+            output_sha=meta["output_sha"],
+            input_head_fps=list(meta.get("input_head_fps", [])),
+            input_tail_fps=list(meta.get("input_tail_fps", [])),
+        )
+        entries[entry.key] = entry
+    for key, entry in entries.items():
+        cache.entries[key] = entry
+        cache.size_bytes += len(entry.output)
+    for sig, paths, key in latest:
+        if key in cache.entries:
+            cache.latest_for_paths[(sig, tuple(paths))] = key
+    cache._evict()
+    return cache
+
+
+# -- manifest ---------------------------------------------------------------------
+
+
+def save_manifest(root: str, manifest: dict) -> str:
+    os.makedirs(root, exist_ok=True)
+    path = os.path.join(root, MANIFEST_NAME)
+    _atomic_write(path, json.dumps(manifest, sort_keys=True,
+                                   indent=2).encode() + b"\n")
+    return path
+
+
+def load_manifest(root: str) -> Optional[dict]:
+    path = os.path.join(root, MANIFEST_NAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "rb") as fh:
+            return json.loads(fh.read())
+    except (ValueError, UnicodeDecodeError):
+        return None

@@ -1,0 +1,255 @@
+"""The durable pipeline journal: fsync-ordered, crash-consistent.
+
+Layout of a checkpoint directory::
+
+    <root>/journal.jsonl     append-only records, one JSON object/line
+    <root>/segs/seg-N.bin    output payload for record N
+
+Commit protocol for one round (write-ahead ordering):
+
+1. the payload is written to ``segs/.tmp-seg-N``, flushed + fsynced,
+   and atomically renamed to ``segs/seg-N.bin``;
+2. only then is the record line — carrying the segment's length and
+   sha256 — appended to ``journal.jsonl`` and fsynced.
+
+A crash between (1) and (2) leaves an *orphan* segment that no record
+references; a crash during (2) leaves a *torn* tail line.  Both are
+repaired by :meth:`Journal.recover`: the tail is truncated back to the
+last fully-valid record and orphan/tmp segments are deleted — the
+durable-side analogue of rolling back a partially-staged sink.  Every
+record line also embeds a sha256 over its own body, so a corrupted
+middle record is detected (the journal is trusted only up to the first
+invalid record).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+JOURNAL_NAME = "journal.jsonl"
+SEG_DIR = "segs"
+TMP_PREFIX = ".tmp-"
+
+
+class JournalError(Exception):
+    pass
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _fsync_dir(path: str) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@dataclass
+class JournalRecord:
+    """One committed round."""
+
+    round: int
+    input_offset: int
+    output_len: int
+    output_sha: str
+    seg: str
+    seg_len: int
+    seg_sha: str
+    mode: str  # "delta" (seg appends to the output) | "full" (seg replaces it)
+    script_sha: str = ""
+    engine: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def body(self) -> dict:
+        d = {
+            "round": self.round,
+            "input_offset": self.input_offset,
+            "output_len": self.output_len,
+            "output_sha": self.output_sha,
+            "seg": self.seg,
+            "seg_len": self.seg_len,
+            "seg_sha": self.seg_sha,
+            "mode": self.mode,
+            "script_sha": self.script_sha,
+            "engine": self.engine,
+        }
+        if self.extra:
+            d["extra"] = self.extra
+        return d
+
+    @classmethod
+    def from_body(cls, body: dict) -> "JournalRecord":
+        return cls(
+            round=body["round"], input_offset=body["input_offset"],
+            output_len=body["output_len"], output_sha=body["output_sha"],
+            seg=body["seg"], seg_len=body["seg_len"],
+            seg_sha=body["seg_sha"], mode=body["mode"],
+            script_sha=body.get("script_sha", ""),
+            engine=body.get("engine", ""),
+            extra=body.get("extra", {}),
+        )
+
+
+def _encode_line(body: dict) -> bytes:
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    line = json.dumps({"v": 1, "sha": _sha(payload.encode()), "body": body},
+                      sort_keys=True, separators=(",", ":"))
+    return line.encode() + b"\n"
+
+
+def _decode_line(raw: bytes) -> Optional[dict]:
+    """Parse + self-check one journal line; None when torn/corrupt."""
+    try:
+        obj = json.loads(raw)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(obj, dict) or obj.get("v") != 1:
+        return None
+    body = obj.get("body")
+    if not isinstance(body, dict):
+        return None
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    if _sha(payload.encode()) != obj.get("sha"):
+        return None
+    return body
+
+
+class Journal:
+    """The durable round journal of one supervised pipeline."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.seg_dir = os.path.join(root, SEG_DIR)
+        self.path = os.path.join(root, JOURNAL_NAME)
+        os.makedirs(self.seg_dir, exist_ok=True)
+        self.records: list[JournalRecord] = []
+
+    # -- commit -------------------------------------------------------------------
+
+    def append(self, record: JournalRecord, payload: bytes,
+               crash_after_payload: bool = False,
+               torn_record: bool = False) -> None:
+        """Durably commit one round (payload first, then the record).
+
+        ``crash_after_payload`` / ``torn_record`` simulate a host crash
+        at the two interesting points of the protocol (used by the
+        recovery tests and the chaos campaign): the former leaves an
+        orphan segment, the latter additionally leaves a torn record
+        line.  Both raise without registering the record."""
+        from .supervisor import SimulatedCrash
+
+        record.seg_len = len(payload)
+        record.seg_sha = _sha(payload)
+        seg_final = os.path.join(self.seg_dir, record.seg)
+        seg_tmp = os.path.join(self.seg_dir, TMP_PREFIX + record.seg)
+        with open(seg_tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.rename(seg_tmp, seg_final)
+        _fsync_dir(self.seg_dir)
+        if crash_after_payload:
+            raise SimulatedCrash("crash after payload fsync, before record")
+        line = _encode_line(record.body())
+        if torn_record:
+            with open(self.path, "ab") as fh:
+                fh.write(line[: max(1, len(line) // 2)])
+                fh.flush()
+                os.fsync(fh.fileno())
+            raise SimulatedCrash("crash mid-record (torn journal tail)")
+        with open(self.path, "ab") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.records.append(record)
+
+    # -- recovery -----------------------------------------------------------------
+
+    def recover(self) -> dict:
+        """Load the journal, truncating any torn tail and deleting any
+        orphan/tmp segments.  Returns a small repair report."""
+        repairs = {"torn_tail_bytes": 0, "orphan_segs": 0,
+                   "records": 0, "invalid_records": 0}
+        self.records = []
+        valid_bytes = 0
+        raw = b""
+        if os.path.exists(self.path):
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                break  # torn tail (no terminator)
+            line = raw[offset:newline]
+            body = _decode_line(line)
+            if body is None:
+                repairs["invalid_records"] += 1
+                break
+            record = JournalRecord.from_body(body)
+            if not self._seg_valid(record):
+                # record without durable payload: write-ahead ordering
+                # was violated by corruption — trust nothing after it
+                repairs["invalid_records"] += 1
+                break
+            self.records.append(record)
+            offset = newline + 1
+            valid_bytes = offset
+        if valid_bytes < len(raw):
+            repairs["torn_tail_bytes"] = len(raw) - valid_bytes
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+        referenced = {r.seg for r in self.records}
+        for name in os.listdir(self.seg_dir):
+            if name in referenced:
+                continue
+            os.unlink(os.path.join(self.seg_dir, name))
+            repairs["orphan_segs"] += 1
+        repairs["records"] = len(self.records)
+        return repairs
+
+    def _seg_valid(self, record: JournalRecord) -> bool:
+        seg_path = os.path.join(self.seg_dir, record.seg)
+        if not os.path.exists(seg_path):
+            return False
+        with open(seg_path, "rb") as fh:
+            data = fh.read()
+        return len(data) == record.seg_len and _sha(data) == record.seg_sha
+
+    # -- reconstruction -----------------------------------------------------------
+
+    def read_seg(self, record: JournalRecord) -> bytes:
+        with open(os.path.join(self.seg_dir, record.seg), "rb") as fh:
+            return fh.read()
+
+    def committed_output(self) -> bytes:
+        """Rebuild the committed pipeline output by applying records in
+        order (delta segments append, full segments replace)."""
+        out = b""
+        for record in self.records:
+            seg = self.read_seg(record)
+            out = out + seg if record.mode == "delta" else seg
+            if len(out) != record.output_len or _sha(out) != record.output_sha:
+                raise JournalError(
+                    f"round {record.round}: reconstructed output does not "
+                    f"match committed digest")
+        return out
+
+    @property
+    def input_offset(self) -> int:
+        return self.records[-1].input_offset if self.records else 0
+
+    def next_seg_name(self) -> str:
+        return f"seg-{len(self.records)}.bin"

@@ -1,0 +1,94 @@
+"""Growing input sources for supervised pipelines (tail -f analogue).
+
+A source exposes a byte stream that only ever grows:
+
+* ``available()`` — total bytes produced so far;
+* ``read(offset, nbytes)`` — any committed range, *replayable*: after a
+  crash a fresh process must be able to reconstruct exactly the bytes
+  the dead process had ingested, so the supervisor can rebuild its
+  virtual input file up to the last committed offset.
+
+:class:`SyntheticSource` generates a deterministic log-like stream from
+a seed (the chaos campaign's workhorse); :class:`FileTailSource` tails
+a real host file for ``jash run --supervise``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+_SEVERITIES = ("INFO", "INFO", "INFO", "WARN", "ERROR")
+_OPS = ("open", "read", "write", "close", "sync", "retry")
+
+
+class SyntheticSource:
+    """A seeded, replayable stream of log lines.
+
+    Line ``i`` is a pure function of ``(seed, i)``, so two instances
+    with the same seed produce byte-identical streams — across
+    processes, which is what makes crash recovery testable: the resumed
+    supervisor rebuilds the ingested prefix from the seed alone.
+    ``grow(nbytes)`` publishes at least ``nbytes`` more bytes."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._buf = bytearray()
+        self._line = 0
+        self._published = 0
+
+    def _gen_line(self) -> bytes:
+        i = self._line
+        self._line += 1
+        rng = random.Random((self.seed << 20) ^ i)
+        sev = _SEVERITIES[rng.randrange(len(_SEVERITIES))]
+        op = _OPS[rng.randrange(len(_OPS))]
+        return (f"host{i % 7} {sev} {op} req{i} "
+                f"lat={rng.randrange(10_000)}us\n").encode()
+
+    def grow(self, nbytes: int) -> int:
+        """Publish at least ``nbytes`` more bytes; returns new total."""
+        target = self._published + max(0, nbytes)
+        while len(self._buf) < target:
+            self._buf.extend(self._gen_line())
+        self._published = len(self._buf)
+        return self._published
+
+    def available(self) -> int:
+        return self._published
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        end = min(self._published, offset + nbytes)
+        return bytes(self._buf[offset:end])
+
+    def replay(self, upto: int) -> bytes:
+        """The first ``upto`` bytes — regenerated if this is a fresh
+        instance (deterministic in the seed)."""
+        while len(self._buf) < upto:
+            self._buf.extend(self._gen_line())
+        self._published = max(self._published, min(upto, len(self._buf)))
+        return bytes(self._buf[:upto])
+
+
+class FileTailSource:
+    """Tail a growing host file (the real tail -f case)."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def available(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(offset)
+                return fh.read(nbytes)
+        except OSError:
+            return b""
+
+    def replay(self, upto: int) -> bytes:
+        return self.read(0, upto)

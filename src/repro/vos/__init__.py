@@ -13,6 +13,8 @@ from .errors import (
     FileNotFound,
     InjectedDiskError,
     InjectedFault,
+    InjectedNetError,
+    InjectedPartialWrite,
     InjectedPipeBreak,
     IsADirectory,
     NotADirectory,
@@ -69,7 +71,8 @@ from .syscalls import (
 __all__ = [
     "Disk", "DiskSpec", "gp2_spec", "gp3_spec",
     "BadFileDescriptor", "BrokenPipe", "FileNotFound", "InjectedDiskError",
-    "InjectedFault", "InjectedPipeBreak", "IsADirectory",
+    "InjectedFault", "InjectedNetError", "InjectedPartialWrite",
+    "InjectedPipeBreak", "IsADirectory",
     "NotADirectory", "VosError",
     "CRASH_STATUS", "EX_IOERR", "FAULT_STATUSES", "FaultEvent", "FaultPlan",
     "FaultSpec",

@@ -48,6 +48,21 @@ class InjectedPipeBreak(InjectedFault):
     """Injected pipe breakage (the read end 'vanished')."""
 
 
+class InjectedPartialWrite(InjectedFault):
+    """Injected torn write: a prefix of the data reached the target
+    (file bytes or pipe buffer) before the operation failed.  Unlike
+    :class:`InjectedDiskError`, state HAS been mutated — recovery layers
+    must roll the torn prefix back (staged sinks) or overwrite it
+    (journal resume), never trust it."""
+
+
+class InjectedNetError(InjectedFault):
+    """Injected network failure: a cross-node transfer was lost (message
+    drop) or refused (partition).  The sender dies with EX_IOERR like a
+    connection reset, so distributed recovery retries the branch on a
+    surviving replica."""
+
+
 class ReadOnlyHandle(VosError):
     pass
 

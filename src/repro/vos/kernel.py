@@ -26,11 +26,22 @@ from .errors import (
     BrokenPipe,
     InjectedDiskError,
     InjectedFault,
+    InjectedNetError,
+    InjectedPartialWrite,
     InjectedPipeBreak,
     NoSuchProcess,
     VosError,
 )
-from .faults import CRASH, DISK_ERROR, DISK_SLOW, EX_IOERR, PIPE_BREAK
+from .faults import (
+    CRASH,
+    DISK_ERROR,
+    DISK_SLOW,
+    EX_IOERR,
+    NET_ERROR,
+    NET_PARTITION,
+    PARTIAL_WRITE,
+    PIPE_BREAK,
+)
 from .fs import FileSystem, normalize
 from .handles import (
     Collector,
@@ -415,7 +426,8 @@ class Kernel:
         self._handle_read(proc, handle, request.fd, request.nbytes, vector)
 
     def _handle_read(self, proc: Process, handle: Handle, fd: int,
-                     nbytes: int, vector: bool) -> None:
+                     nbytes: int, vector: bool,
+                     via: Optional[str] = None) -> None:
         """Read from a resolved handle; with ``vector`` the completion
         value is a list of zero-copy chunks instead of one bytes object
         (same total length either way)."""
@@ -427,7 +439,7 @@ class Kernel:
                 data = [data] if data else []
             self._ready.append((proc, data, None))
         elif isinstance(handle, FileHandle):
-            self._file_read(proc, handle, nbytes, vector)
+            self._file_read(proc, handle, nbytes, vector, via)
         elif isinstance(handle, PipeReader):
             self._pipe_read(proc, handle.pipe, nbytes, vector)
         else:
@@ -463,10 +475,11 @@ class Kernel:
         except VosError as err:
             self._ready.append((proc, None, err))
             return
-        self._handle_writev(proc, handle, request.fd, request.parts)
+        self._handle_writev(proc, handle, request.fd, request.parts,
+                            via="writev")
 
     def _handle_writev(self, proc: Process, handle: Handle, fd: int,
-                       parts: list) -> None:
+                       parts: list, via: Optional[str] = None) -> None:
         """Write a chunk vector as one logical write (one fault op, one
         disk request / pipe transfer of the summed length)."""
         if isinstance(handle, (NullHandle,)):
@@ -477,9 +490,9 @@ class Kernel:
                 n += handle.write_now(part)
             self._ready.append((proc, n, None))
         elif isinstance(handle, FileHandle):
-            self._file_writev(proc, handle, parts)
+            self._file_writev(proc, handle, parts, via)
         elif isinstance(handle, PipeWriter):
-            self._pipe_writev(proc, handle.pipe, parts)
+            self._pipe_writev(proc, handle.pipe, parts, via)
         else:
             self._ready.append(
                 (proc, None, VosError(f"fd {fd} not writable"))
@@ -487,33 +500,40 @@ class Kernel:
 
     # file IO through the disk ------------------------------------------------------
 
-    def _disk_fault(self, proc: Process, handle: FileHandle) -> tuple[bool, float]:
+    def _disk_fault(self, proc: Process, handle: FileHandle,
+                    write: bool = False,
+                    via: Optional[str] = None) -> tuple[bool, float, Optional[float]]:
         """Consult the fault plan before a disk operation touches state.
-        Returns (aborted, slow_factor)."""
+        Returns (aborted, slow_factor, torn_fraction): ``torn_fraction``
+        is non-None only for an injected partial write — the caller must
+        commit that prefix of the payload and then fail the process."""
         if self.faults is None:
-            return False, 1.0
-        action = self.faults.on_disk_io(self.now, proc, handle.path)
+            return False, 1.0, None
+        action = self.faults.on_disk_io(self.now, proc, handle.path,
+                                        write=write, via=via)
         if action is None:
-            return False, 1.0
+            return False, 1.0, None
         kind, factor = action
         if kind == DISK_ERROR:
             self._ready.append(
                 (proc, None, InjectedDiskError(f"{handle.path}: injected EIO"))
             )
-            return True, 1.0
+            return True, 1.0, None
         if kind == CRASH:
             self.kill_process(proc)
-            return True, 1.0
+            return True, 1.0, None
         if kind == DISK_SLOW:
-            return False, max(1.0, factor)
-        return False, 1.0  # pragma: no cover - defensive
+            return False, max(1.0, factor), None
+        if kind == PARTIAL_WRITE:
+            return False, 1.0, max(0.0, min(1.0, factor))
+        return False, 1.0, None  # pragma: no cover - defensive
 
     def _file_read(self, proc: Process, handle: FileHandle, nbytes: int,
-                   vector: bool = False) -> None:
+                   vector: bool = False, via: Optional[str] = None) -> None:
         if handle.eof():
             self._ready.append((proc, [] if vector else b"", None))
             return
-        aborted, slow = self._disk_fault(proc, handle)
+        aborted, slow, _torn = self._disk_fault(proc, handle, via=via)
         if aborted:
             return
         handle.note_io()
@@ -528,9 +548,13 @@ class Kernel:
             _DiskRequest(len(data), disk.ops_for(len(data)), proc, result, slow=slow),
         )
 
-    def _file_write(self, proc: Process, handle: FileHandle, data) -> None:
-        aborted, slow = self._disk_fault(proc, handle)
+    def _file_write(self, proc: Process, handle: FileHandle, data,
+                    via: Optional[str] = None) -> None:
+        aborted, slow, torn = self._disk_fault(proc, handle, write=True, via=via)
         if aborted:
+            return
+        if torn is not None:
+            self._torn_file_write(proc, handle, [data], torn)
             return
         handle.note_io()
         try:
@@ -544,9 +568,13 @@ class Kernel:
             return
         self._disk_submit(disk, _DiskRequest(n, disk.ops_for(n), proc, n, slow=slow))
 
-    def _file_writev(self, proc: Process, handle: FileHandle, parts: list) -> None:
-        aborted, slow = self._disk_fault(proc, handle)
+    def _file_writev(self, proc: Process, handle: FileHandle, parts: list,
+                     via: Optional[str] = None) -> None:
+        aborted, slow, torn = self._disk_fault(proc, handle, write=True, via=via)
         if aborted:
+            return
+        if torn is not None:
+            self._torn_file_write(proc, handle, parts, torn)
             return
         handle.note_io()
         n = 0
@@ -561,6 +589,30 @@ class Kernel:
             self._ready.append((proc, n, None))
             return
         self._disk_submit(disk, _DiskRequest(n, disk.ops_for(n), proc, n, slow=slow))
+
+    def _torn_file_write(self, proc: Process, handle: FileHandle,
+                         parts: list, fraction: float) -> None:
+        """Injected partial write: commit a deterministic prefix of the
+        payload to the file, then fail the writer.  The torn bytes stay
+        on 'disk' — recovery layers must roll them back or overwrite."""
+        total = sum(len(part) for part in parts)
+        keep = int(total * fraction)
+        handle.note_io()
+        try:
+            for part in parts:
+                if keep <= 0:
+                    break
+                view = part if isinstance(part, memoryview) else memoryview(part)
+                handle.write_now(view[:keep], self.now)
+                keep -= min(keep, len(part))
+        except VosError:  # pragma: no cover - torn target vanished
+            pass
+        self._ready.append(
+            (proc, None,
+             InjectedPartialWrite(
+                 f"{handle.path}: injected torn write "
+                 f"({int(total * fraction)}/{total} bytes)"))
+        )
 
     def _disk_submit(self, disk: Disk, request: _DiskRequest) -> None:
         request.start = self.now
@@ -613,26 +665,62 @@ class Kernel:
                 tr.on_pipe_stall_begin(self.now, proc, pipe, "read")
             pipe.read_waiters.append((proc, nbytes, vector))
 
-    def _pipe_fault(self, proc: Process, pipe: Pipe) -> bool:
-        """Consult the fault plan before a pipe write; True = aborted."""
+    def _pipe_fault(self, proc: Process, pipe: Pipe,
+                    via: Optional[str] = None,
+                    parts: Optional[list] = None) -> bool:
+        """Consult the fault plan before a pipe write; True = aborted.
+        A ``partial-write`` pushes a torn prefix of ``parts`` into the
+        pipe (visible to the reader!) before failing the writer."""
         if self.faults is None:
             return False
-        kind = self.faults.on_pipe_write(self.now, proc, pipe)
-        if kind == PIPE_BREAK:
+        action = self.faults.on_pipe_write(self.now, proc, pipe, via=via)
+        if action is None:
+            return False
+        if isinstance(action, tuple):  # (partial-write, fraction)
+            _kind, fraction = action
+            self._torn_pipe_write(proc, pipe, parts or [], fraction)
+            return True
+        if action == PIPE_BREAK:
             self._ready.append(
                 (proc, None, InjectedPipeBreak(f"pipe {pipe.id}: injected break"))
             )
             return True
-        if kind == CRASH:
+        if action == CRASH:
             self.kill_process(proc)
             return True
         return False
 
-    def _pipe_write(self, proc: Process, pipe: Pipe, data) -> None:
+    def _torn_pipe_write(self, proc: Process, pipe: Pipe, parts: list,
+                         fraction: float) -> None:
+        """Push a deterministic prefix of the payload, wake readers (the
+        torn bytes ARE delivered downstream), then fail the writer."""
+        total = sum(len(part) for part in parts)
+        keep = int(total * fraction)
+        pushed = 0
+        for part in parts:
+            if keep <= 0:
+                break
+            view = part if isinstance(part, memoryview) else memoryview(part)
+            pushed += pipe.push(view[:keep])
+            keep -= min(keep, len(part))
+        tr = self.tracer
+        if tr is not None and pushed:
+            tr.on_pipe_write(self.now, proc, pipe, pushed)
+        if pushed:
+            self._wake_pipe_readers(pipe)
+        self._ready.append(
+            (proc, None,
+             InjectedPartialWrite(
+                 f"pipe {pipe.id}: injected torn write "
+                 f"({pushed}/{total} bytes)"))
+        )
+
+    def _pipe_write(self, proc: Process, pipe: Pipe, data,
+                    via: Optional[str] = None) -> None:
         if pipe.readers == 0:
             self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
             return
-        if self._pipe_fault(proc, pipe):
+        if self._pipe_fault(proc, pipe, via, [data]):
             return
         accepted = pipe.push(data)
         tr = self.tracer
@@ -648,11 +736,12 @@ class Kernel:
             view = data if isinstance(data, memoryview) else memoryview(data)
             pipe.write_waiters.append((proc, [view[accepted:]], accepted))
 
-    def _pipe_writev(self, proc: Process, pipe: Pipe, parts: list) -> None:
+    def _pipe_writev(self, proc: Process, pipe: Pipe, parts: list,
+                     via: Optional[str] = None) -> None:
         if pipe.readers == 0:
             self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
             return
-        if self._pipe_fault(proc, pipe):
+        if self._pipe_fault(proc, pipe, via, parts):
             return
         accepted, remaining = pipe.push_vector(parts)
         tr = self.tracer
@@ -741,12 +830,13 @@ class Kernel:
 
     def _splice_read(self, proc: Process, st: "_SpliceState") -> None:
         st.phase = "read"
-        self._handle_read(proc, st.src, st.src_fd, st.chunk, vector=True)
+        self._handle_read(proc, st.src, st.src_fd, st.chunk, vector=True,
+                          via="splice")
 
     def _splice_write(self, proc: Process, st: "_SpliceState") -> None:
         st.phase = "write"
         self._handle_writev(proc, st.dsts[st.dst_i], st.dst_fds[st.dst_i],
-                            st.parts)
+                            st.parts, via="splice")
 
     def _splice_step(self, proc: Process, value, exc) -> None:
         """Advance a pump with a completion ``value`` (or fault ``exc``,
@@ -869,6 +959,22 @@ class Kernel:
         tr = self.tracer
         if tr is not None:
             tr.on_net(self.now, proc, request.dst_node, request.nbytes)
+        if self.faults is not None:
+            kind = self.faults.on_net_send(self.now, proc, request.dst_node)
+            if kind == NET_ERROR:
+                self._ready.append(
+                    (proc, None,
+                     InjectedNetError(
+                         f"net {proc.node.name}->{request.dst_node}: "
+                         f"injected message loss")))
+                return
+            if kind == NET_PARTITION:
+                self._ready.append(
+                    (proc, None,
+                     InjectedNetError(
+                         f"net {proc.node.name}->{request.dst_node}: "
+                         f"partitioned")))
+                return
         if self.network is None:
             self._ready.append((proc, None, None))
             return

@@ -265,3 +265,221 @@ class TestRetryPolicy:
         policy = policy_from_max_retries(4)
         assert policy.max_retries == 4
         assert policy.attempts() == 5
+
+    def test_max_elapsed_caps_the_budget(self):
+        policy = RetryPolicy(max_retries=10, max_elapsed_s=5.0)
+        assert policy.should_retry(1, elapsed_s=0.0)
+        assert not policy.should_retry(1, elapsed_s=5.0)
+        assert policy.next_delay(1, elapsed_s=6.0) is None
+
+    def test_next_delay_is_the_single_decision_point(self):
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.1)
+        assert policy.next_delay(1) == pytest.approx(0.1)
+        assert policy.next_delay(2) == pytest.approx(0.2)
+        assert policy.next_delay(3) is None  # count exhausted
+
+    def test_next_delay_never_sleeps_past_the_elapsed_budget(self):
+        policy = RetryPolicy(max_retries=5, base_delay_s=1.0,
+                             max_delay_s=10.0, max_elapsed_s=1.5)
+        # 1.2s elapsed of a 1.5s budget: the 2s backoff is clamped to 0.3
+        assert policy.next_delay(2, elapsed_s=1.2) == pytest.approx(0.3)
+
+
+class TestPartialWrite:
+    """The torn-write fault: a prefix reaches the target, then EIO."""
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultSpec("partial-write", op=1, fraction=1.5)
+
+    def test_matching_returns_fraction(self):
+        plan = FaultPlan(specs=(FaultSpec("partial-write", op=1,
+                                          fraction=0.25),))
+        kind, fraction = plan.on_disk_io(0.0, _Proc(), "/f", write=True)
+        assert kind == "partial-write" and fraction == 0.25
+
+    def test_write_kind_never_fires_on_reads(self):
+        plan = FaultPlan(specs=(FaultSpec("partial-write", at=0.0),))
+        assert plan.on_disk_io(0.0, _Proc(), "/f") is None
+        assert plan.on_disk_io(0.0, _Proc(), "/f", write=True) is not None
+
+    def test_torn_file_write_commits_a_prefix(self):
+        plan = FaultPlan(specs=(FaultSpec("partial-write", at=0.0,
+                                          path="/out", fraction=0.5),))
+        shell = Shell(fast_machine(), faults=plan)
+        shell.fs.write_bytes("/f", b"0123456789abcdef" * 64)
+        result = shell.run("cat /f > /out")
+        assert result.status == EX_IOERR
+        torn = shell.fs.read_bytes("/out")
+        full = shell.fs.read_bytes("/f")
+        # the hazard partial-write exists to model: a *proper, non-empty*
+        # prefix became durable before the failure
+        assert 0 < len(torn) < len(full)
+        assert full.startswith(torn)
+
+    def test_torn_pipe_write_delivers_prefix_downstream(self):
+        plan = FaultPlan(specs=(FaultSpec("partial-write", at=0.0,
+                                          proc="cat", fraction=0.5),))
+        shell = Shell(fast_machine(), faults=plan)
+        shell.fs.write_bytes("/f", b"z" * 4096)
+        result = shell.run("set -o pipefail\ncat /f | wc -c")
+        assert result.status == EX_IOERR
+        # wc counted the torn prefix, not the full stream
+        assert 0 < int(result.stdout.split()[0]) < 4096
+
+
+class TestNetFaults:
+    """Message loss + partition windows on the dshell network plane."""
+
+    def test_net_error_kills_sender(self):
+        plan = FaultPlan(specs=(FaultSpec("net-error", op=1),))
+        assert plan.on_net_send(0.0, _Proc(), "node1") == "net-error"
+        assert plan.fired == 1
+
+    def test_partition_window(self):
+        plan = FaultPlan(specs=(FaultSpec("net-partition", at=1.0,
+                                          duration=2.0, node="node2"),))
+        proc = _Proc(node_name="node0")
+        assert plan.on_net_send(0.5, proc, "node2") is None
+        assert plan.on_net_send(1.5, proc, "node2") == "net-partition"
+        assert plan.on_net_send(2.9, proc, "node2") == "net-partition"
+        assert plan.on_net_send(3.0, proc, "node2") is None
+        # traffic not touching the partitioned node is unaffected
+        assert plan.on_net_send(1.5, proc, "node3") is None
+
+    def test_partition_matches_source_side_too(self):
+        plan = FaultPlan(specs=(FaultSpec("net-partition", at=0.0,
+                                          duration=10.0, node="node0"),))
+        assert plan.on_net_send(1.0, _Proc(node_name="node0"),
+                                "node3") == "net-partition"
+
+    def test_partition_requires_at(self):
+        with pytest.raises(ValueError, match="at"):
+            FaultSpec("net-partition", duration=1.0)
+
+    def test_partition_does_not_consume_the_storm_budget(self):
+        plan = FaultPlan(
+            rate=1.0, kinds=("disk-error",), max_faults=1,
+            specs=(FaultSpec("net-partition", at=0.0, duration=100.0),))
+        proc = _Proc()
+        assert plan.on_net_send(1.0, proc, "node1") == "net-partition"
+        assert plan.on_net_send(2.0, proc, "node1") == "net-partition"
+        # the disk storm budget is still intact
+        assert plan.on_disk_io(0.0, proc, "/f") is not None
+
+    def test_net_rng_does_not_perturb_disk_schedule(self):
+        a = FaultPlan(seed=21, rate=0.3, kinds=("disk-error", "net-error"))
+        b = FaultPlan(seed=21, rate=0.3, kinds=("disk-error", "net-error"))
+        proc = _Proc()
+        outcomes_a = [a.on_disk_io(0.0, proc, "/f") for _ in range(30)]
+        outcomes_b = []
+        for _ in range(30):
+            b.on_net_send(0.0, proc, "node1")  # interleaved net traffic
+            outcomes_b.append(b.on_disk_io(0.0, proc, "/f"))
+        assert outcomes_a == outcomes_b
+
+    def test_dshell_recovers_from_message_loss(self):
+        from .test_distributed import make_cluster
+        from repro.distributed import DistributedShell
+
+        cluster, sizes, contents = make_cluster(lines_per_file=20000)
+        expected = sum(d.count(b"ERROR") for d in contents.values())
+        cluster.kernel.faults = FaultPlan(
+            specs=(FaultSpec("net-error", op=1),))
+        dsh = DistributedShell(cluster)
+        result = dsh.run("grep ERROR | wc -l", sorted(sizes),
+                         strategy="data-aware")
+        assert result.status == 0
+        assert int(result.out.split()[0]) == expected
+        assert result.retries > 0
+        assert cluster.kernel.faults.fired == 1
+
+
+class TestViaTargeting:
+    """FaultSpec(via=...) aims at the zero-copy fast paths, and the
+    Bernoulli schedule is identical with the fast path on or off."""
+
+    def _run(self, plan, enabled):
+        from repro.commands import base
+
+        prev = base.splice_enabled()
+        base.set_splice_enabled(enabled)
+        try:
+            shell = Shell(fast_machine(), faults=plan)
+            shell.fs.write_bytes("/f", b"q" * 200_000)
+            result = shell.run("set -o pipefail\ncat /f | tr a-z A-Z | wc -c")
+            return result
+        finally:
+            base.set_splice_enabled(prev)
+
+    def test_via_validation(self):
+        with pytest.raises(ValueError, match="via"):
+            FaultSpec("disk-error", op=1, via="teleport")
+
+    def test_via_splice_fires_only_on_the_splice_path(self):
+        plan_on = FaultPlan(specs=(FaultSpec("disk-error", at=0.0,
+                                             proc="cat", via="splice"),))
+        assert self._run(plan_on, enabled=True).status == EX_IOERR
+        assert plan_on.fired == 1
+        plan_off = FaultPlan(specs=(FaultSpec("disk-error", at=0.0,
+                                              proc="cat", via="splice"),))
+        result = self._run(plan_off, enabled=False)
+        assert result.status == 0 and plan_off.fired == 0
+
+    def test_mid_splice_partial_write_is_torn(self):
+        plan = FaultPlan(specs=(FaultSpec("partial-write", at=0.0,
+                                          proc="cat", via="splice",
+                                          fraction=0.5),))
+        result = self._run(plan, enabled=True)
+        assert result.status == EX_IOERR
+        assert 0 < int(result.stdout.split()[0]) < 200_000
+
+    def test_writev_spec_fires_on_vectored_pipe_write(self):
+        # grep emits through a ChunkWriter (vectored writes), so a
+        # writev-only torn write lands on its output
+        plan = FaultPlan(specs=(FaultSpec("partial-write", at=0.0,
+                                          proc="grep", via="writev",
+                                          fraction=0.5),))
+        from repro.commands import base
+
+        prev = base.splice_enabled()
+        base.set_splice_enabled(False)
+        try:
+            shell = Shell(fast_machine(), faults=plan)
+            shell.fs.write_bytes("/f", b"hello world\n" * 5000)
+            result = shell.run("set -o pipefail\ncat /f | grep hello | wc -c")
+        finally:
+            base.set_splice_enabled(prev)
+        assert result.status == EX_IOERR and plan.fired == 1
+        assert 0 < int(result.stdout.split()[0]) < 60_000
+
+    def test_writev_spec_ignores_plain_writes(self):
+        plan = FaultPlan(specs=(FaultSpec("partial-write", at=0.0,
+                                          proc="cat", via="writev",
+                                          fraction=0.5),))
+        from repro.commands import base
+
+        prev = base.splice_enabled()
+        base.set_splice_enabled(False)
+        try:
+            shell = Shell(fast_machine(), faults=plan)
+            shell.fs.write_bytes("/f", b"hello\n" * 100)
+            # cat copies with plain writes: a writev-only spec never fires
+            result = shell.run("cat /f > /out")
+        finally:
+            base.set_splice_enabled(prev)
+        assert result.status == 0 and plan.fired == 0
+        assert shell.fs.read_bytes("/out") == b"hello\n" * 100
+
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_rate_schedule_parity_splice_vs_no_splice(self, seed):
+        """Regression: for the same seed, the splice fast path and the
+        chunk-copy slow path observe the *same* fault schedule."""
+        traces = []
+        for enabled in (True, False):
+            plan = FaultPlan(seed=seed, rate=0.02,
+                             kinds=("disk-error", "pipe-break", "crash"),
+                             max_faults=2)
+            result = self._run(plan, enabled)
+            traces.append((plan.trace(), result.status, result.stdout))
+        assert traces[0] == traces[1]

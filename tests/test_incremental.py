@@ -91,7 +91,9 @@ class TestAppendOnlyDelta:
         fresh.run(script)
         assert fresh.fs.read_bytes("/out") == out
 
-    def test_non_stateless_region_recomputed(self, inc_shell):
+    def test_sort_region_extended_by_merge(self, inc_shell):
+        # sort is not stateless, but its PaSh aggregator (sort -m) can
+        # fold the sorted suffix into the cached sorted prefix
         inc_shell.fs.write_bytes("/log", LOG)
         script = "cat /log | sort > /out"
         inc_shell.run(script)
@@ -99,8 +101,15 @@ class TestAppendOnlyDelta:
         node.data.extend(b"aaa first line\n")
         node.mtime = inc_shell.kernel.now + 5
         inc_shell.run(script)
-        assert inc_shell.optimizer_hook.events[-1].decision == "computed"
+        ev = inc_shell.optimizer_hook.events[-1]
+        assert ev.decision == "extended"
+        assert "sort_merge" in ev.reason
+        assert ev.saved_bytes == len(LOG)
         assert inc_shell.fs.read_bytes("/out").startswith(b"aaa")
+        fresh = Shell(fast_machine())
+        fresh.fs.write_bytes("/log", bytes(node.data))
+        fresh.run(script)
+        assert fresh.fs.read_bytes("/out") == inc_shell.fs.read_bytes("/out")
 
     def test_in_place_edit_not_treated_as_append(self, inc_shell):
         inc_shell.fs.write_bytes("/log", LOG)
@@ -177,3 +186,252 @@ class TestCacheMechanics:
         assert stats["hits"] == 1
         assert stats["misses"] == 1
         assert stats["entries"] == 1
+
+
+class TestCacheRobustness:
+    """Truncated/corrupted cache state must never reach pipeline output."""
+
+    def _shell(self):
+        from repro.obs import Tracer
+
+        inc = IncrementalOptimizer(IncrementalConfig(min_input_bytes=16))
+        shell = Shell(fast_machine(), optimizer=inc, tracer=Tracer())
+        shell.optimizer_hook = inc
+        return shell
+
+    def test_corrupted_entry_recomputed_not_replayed(self):
+        shell = self._shell()
+        shell.fs.write_bytes("/log", LOG)
+        script = "grep ERROR /log | wc -l"
+        good = shell.run(script)
+        # corrupt every cached output in place (bit rot)
+        inc = shell.optimizer_hook
+        for entry in inc.cache.entries.values():
+            entry.output = b"garbage" + entry.output[7:]
+        again = shell.run(script)
+        assert again.stdout == good.stdout  # recomputed, not stale bytes
+        assert inc.events[-1].decision == "computed"
+        assert inc.cache.stats()["invalidated"] >= 1
+
+    def test_cache_invalid_event_traced(self):
+        shell = self._shell()
+        shell.fs.write_bytes("/log", LOG)
+        shell.run("grep ERROR /log | wc -l")
+        for entry in shell.optimizer_hook.cache.entries.values():
+            entry.output = entry.output + b"!"
+        shell.run("grep ERROR /log | wc -l")
+        names = [r.name for r in shell.tracer.records]
+        assert "inc.cache_invalid" in names
+
+    def test_invalidate_mechanics(self):
+        cache = IncrementalCache()
+        cache.put(CacheEntry("k", b"v", 0, input_paths=["/a"]), "sig")
+        assert cache.latest("sig", ["/a"]) is not None
+        cache.invalidate("k")
+        assert cache.get("k") is None
+        assert cache.latest("sig", ["/a"]) is None
+        assert cache.stats()["invalidated"] == 1
+        assert cache.size_bytes == 0
+
+    def test_prefix_hasher_chains(self):
+        from repro.incremental import PrefixHasher
+
+        h = PrefixHasher.seeded(b"abc")
+        h2 = h.copy().advance(b"def")
+        assert h2.hexdigest() == digest(b"abcdef")
+        assert h2.length == 6
+        assert h.hexdigest() == digest(b"abc")  # copy did not mutate
+
+    def test_mangled_snapshot_entry_skipped(self, tmp_path):
+        from repro.supervise import load_cache, save_cache
+
+        cache = IncrementalCache()
+        cache.put(CacheEntry("k1", b"payload-one", 0, input_paths=["/a"]),
+                  "sig1")
+        cache.put(CacheEntry("k2", b"payload-two", 0, input_paths=["/b"]),
+                  "sig2")
+        save_cache(str(tmp_path), cache)
+        path = tmp_path / "cache.bin"
+        raw = path.read_bytes()
+        path.write_bytes(raw.replace(b"payload-one", b"paYload-one"))
+        loaded = load_cache(str(tmp_path))
+        assert "k1" not in loaded.entries  # digest mismatch: dropped
+        assert loaded.entries["k2"].output == b"payload-two"
+
+    def test_truncated_snapshot_stops_at_last_complete_entry(self, tmp_path):
+        from repro.supervise import load_cache, save_cache
+
+        cache = IncrementalCache()
+        cache.put(CacheEntry("k1", b"A" * 64, 0), "sig1")
+        cache.put(CacheEntry("k2", b"B" * 64, 0), "sig2")
+        save_cache(str(tmp_path), cache)
+        path = tmp_path / "cache.bin"
+        raw = path.read_bytes()
+        # truncate mid-way through the second entry's payload
+        path.write_bytes(raw[: raw.find(b"B" * 64) + 10])
+        loaded = load_cache(str(tmp_path))
+        assert len(loaded.entries) == 1
+        assert all(e.verify_output() for e in loaded.entries.values())
+
+    def test_snapshot_roundtrip_preserves_delta_lookup(self, tmp_path):
+        from repro.supervise import load_cache, save_cache
+
+        shell = self._shell()
+        shell.fs.write_bytes("/log", LOG)
+        shell.run("grep ERROR /log | wc -l")
+        save_cache(str(tmp_path), shell.optimizer_hook.cache)
+        loaded = load_cache(str(tmp_path))
+        original = shell.optimizer_hook.cache
+        assert set(loaded.entries) == set(original.entries)
+        assert loaded.latest_for_paths == original.latest_for_paths
+        assert loaded.size_bytes == original.size_bytes
+
+
+class TestSampledDeltaVerify:
+    """delta_verify='sampled': O(delta) append validation for streaming."""
+
+    def _shell(self):
+        inc = IncrementalOptimizer(IncrementalConfig(
+            min_input_bytes=16, delta_verify="sampled",
+            spot_check_bytes=64))
+        shell = Shell(fast_machine(), optimizer=inc)
+        shell.optimizer_hook = inc
+        return shell
+
+    def test_append_extends(self):
+        shell = self._shell()
+        shell.fs.write_bytes("/log", LOG)
+        shell.run("grep INFO /log > /out")
+        node = shell.fs.open_node("/log")
+        node.data.extend(b"host1 INFO request-late\n")
+        node.mtime = shell.kernel.now + 1.0
+        shell.run("grep INFO /log > /out")
+        assert shell.optimizer_hook.events[-1].decision == "extended"
+        assert shell.fs.read_bytes("/out").endswith(b"request-late\n")
+
+    def test_boundary_edit_caught(self):
+        shell = self._shell()
+        shell.fs.write_bytes("/log", LOG)
+        shell.run("grep request /log > /out")
+        node = shell.fs.open_node("/log")
+        # flip a byte just before the old end (inside the tail window),
+        # then append: NOT a pure append, and the spot check sees it
+        node.data[len(LOG) - 2] = ord(b"@")
+        node.data.extend(b"extra request bytes\n")
+        node.mtime = shell.kernel.now + 1.0
+        shell.run("grep request /log > /out")
+        assert shell.optimizer_hook.events[-1].decision == "computed"
+        out = shell.fs.read_bytes("/out")
+        assert out.endswith(b"extra request bytes\n")
+        assert b"@\n" in out  # recompute saw the boundary edit
+
+    def test_head_edit_caught(self):
+        shell = self._shell()
+        shell.fs.write_bytes("/log", LOG)
+        shell.run("grep request /log > /out")
+        node = shell.fs.open_node("/log")
+        node.data[0] = ord(b"@")
+        node.data.extend(b"extra request bytes\n")
+        node.mtime = shell.kernel.now + 1.0
+        shell.run("grep request /log > /out")
+        assert shell.optimizer_hook.events[-1].decision == "computed"
+
+    def test_validation_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="delta_verify"):
+            IncrementalConfig(delta_verify="yolo")
+
+
+class TestAggregatorDelta:
+    """Aggregator-merge deltas: a stateless prefix feeding one
+    parallelizable-pure final stage extends via the stage's PaSh
+    aggregator instead of recomputing the whole region."""
+
+    def _grow(self, shell, extra):
+        node = shell.fs.files["/log"]
+        node.data.extend(extra)
+        node.mtime = shell.kernel.now + 5
+
+    def _reference(self, shell, script):
+        fresh = Shell(fast_machine())
+        fresh.fs.write_bytes("/log", bytes(shell.fs.files["/log"].data))
+        return fresh.run(script)
+
+    def test_wc_sum_merge(self, inc_shell):
+        script = "cat /log | grep INFO | wc -l"
+        inc_shell.fs.write_bytes("/log", LOG)
+        inc_shell.run(script)
+        self._grow(inc_shell, b"late INFO line\nlate ERROR line\n" * 40)
+        got = inc_shell.run(script)
+        ev = inc_shell.optimizer_hook.events[-1]
+        assert ev.decision == "extended" and "sum" in ev.reason
+        assert got.stdout == self._reference(inc_shell, script).stdout
+
+    def test_uniq_rerun_merge_handles_boundary_dupes(self, inc_shell):
+        script = "grep host0 /log | uniq"
+        inc_shell.fs.write_bytes("/log", b"host0 x\nhost0 x\nhost1 y\n" * 400)
+        inc_shell.run(script)
+        # the appended suffix starts with the line the prefix ended on:
+        # the rerun aggregator must deduplicate across the seam
+        self._grow(inc_shell, b"host0 x\nhost0 z\n" * 10)
+        got = inc_shell.run(script)
+        ev = inc_shell.optimizer_hook.events[-1]
+        assert ev.decision == "extended" and "rerun" in ev.reason
+        assert got.stdout == self._reference(inc_shell, script).stdout
+
+    def test_non_mergeable_final_stage_recomputed(self, inc_shell):
+        # uniq -c needs cross-chunk state: no aggregator, full recompute
+        script = "cat /log | uniq -c"
+        inc_shell.fs.write_bytes("/log", LOG)
+        inc_shell.run(script)
+        self._grow(inc_shell, b"tail line\n" * 20)
+        got = inc_shell.run(script)
+        assert inc_shell.optimizer_hook.events[-1].decision == "computed"
+        assert got.stdout == self._reference(inc_shell, script).stdout
+
+    def test_non_stateless_prefix_recomputed(self, inc_shell):
+        # the merge is only sound when everything before the final
+        # stage is stateless; sort mid-pipeline disqualifies the region
+        script = "cat /log | sort | grep host1"
+        inc_shell.fs.write_bytes("/log", LOG)
+        inc_shell.run(script)
+        self._grow(inc_shell, b"host1 straggler\n" * 20)
+        got = inc_shell.run(script)
+        assert inc_shell.optimizer_hook.events[-1].decision == "computed"
+        assert got.stdout == self._reference(inc_shell, script).stdout
+
+    def test_merge_temp_files_cleaned_up(self, inc_shell):
+        script = "cat /log | sort > /out"
+        inc_shell.fs.write_bytes("/log", LOG)
+        inc_shell.run(script)
+        self._grow(inc_shell, b"zzz\n" * 10)
+        inc_shell.run(script)
+        assert inc_shell.optimizer_hook.events[-1].decision == "extended"
+        assert not [p for p in inc_shell.fs.files if ".inc-merge" in p]
+
+
+class TestFaultTaintedResults:
+    def test_faulted_attempt_result_not_cached(self):
+        """A write torn mid-region leaves truncated output — it must
+        not enter the cache under any status, or a retry would
+        digest-replay the poison (found by the S18 chaos campaign,
+        storm seed 57)."""
+        from repro import FaultPlan
+
+        plan = FaultPlan(seed=1, rate=1.0, kinds=("partial-write",),
+                         max_faults=1)
+        inc = IncrementalOptimizer(IncrementalConfig(min_input_bytes=16))
+        shell = Shell(fast_machine(), optimizer=inc, faults=plan)
+        shell.optimizer_hook = inc
+        shell.fs.write_bytes("/log", LOG)
+        script = "cat /log | tr a-z A-Z | grep -v ERROR"
+        first = shell.run(script)
+        assert shell.kernel.faults.fired == 1
+        # whatever the torn run produced, none of it was cached ...
+        assert not inc.cache.entries
+        assert any("not cached" in e.reason for e in inc.events)
+        # ... so the retry (fault budget spent) recomputes the answer
+        second = shell.run(script)
+        fresh = Shell(fast_machine())
+        fresh.fs.write_bytes("/log", LOG)
+        assert second.stdout == fresh.run(script).stdout
+        assert len(second.stdout) > len(first.stdout)
