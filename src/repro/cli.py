@@ -4,6 +4,8 @@ Subcommands::
 
     jash run SCRIPT.sh [--engine bash|pash|jash] [--machine PROFILE]
     jash run -c 'cat f | sort' --trace OUT.json  # + Chrome trace export
+    jash run -c '...' --metrics OUT.json    # + deterministic metrics snapshot
+    jash stat SCRIPT.sh [--interval 0.25]   # windowed telemetry tables
     jash profile SCRIPT.sh                  # critical-path report
     jash lint SCRIPT.sh                     # static diagnostics
     jash check SCRIPT.sh [--format json]    # whole-script effect analysis
@@ -49,6 +51,9 @@ def _main(argv=None) -> int:
     run_p.add_argument("--trace", metavar="OUT.json",
                        help="record a trace and export Chrome trace_event "
                             "JSON (open in ui.perfetto.dev)")
+    run_p.add_argument("--metrics", metavar="OUT.json",
+                       help="sample the metrics plane on the virtual clock "
+                            "and export the deterministic snapshot")
     run_p.add_argument("--no-splice", action="store_true",
                        help="disable the kernel splice fast path (results "
                             "are identical; this exists to prove it)")
@@ -71,6 +76,42 @@ def _main(argv=None) -> int:
                        help="bytes the synthetic source grows per round")
     run_p.add_argument("--seed", type=int, default=0,
                        help="synthetic source seed")
+
+    stat_p = sub.add_parser(
+        "stat", help="run a script with the metrics plane and print "
+                     "per-window telemetry tables")
+    stat_p.add_argument("script", nargs="?", help="script file (host path)")
+    stat_p.add_argument("-c", dest="inline", help="inline script text")
+    stat_p.add_argument("--engine", choices=("bash", "pash", "jash"),
+                        default="jash")
+    stat_p.add_argument("--machine", choices=sorted(PROFILES),
+                        default="laptop")
+    stat_p.add_argument("--file", action="append", default=[],
+                        metavar="HOST:VIRT",
+                        help="copy a host file into the virtual fs")
+    stat_p.add_argument("--interval", type=float, default=0.25,
+                        metavar="VSEC",
+                        help="sampling window in virtual seconds "
+                             "(default 0.25)")
+    stat_p.add_argument("--top", type=int, default=5,
+                        help="processes to show in the top table")
+    stat_p.add_argument("--format", choices=("table", "prom"),
+                        default="table",
+                        help="table report or Prometheus text exposition")
+    stat_p.add_argument("--metrics", metavar="OUT.json",
+                        help="also export the deterministic snapshot")
+    stat_p.add_argument("--supervise", action="store_true",
+                        help="drive the script under the supervisor and "
+                             "report across its rounds")
+    stat_p.add_argument("--checkpoint", metavar="DIR",
+                        help="checkpoint directory; required with "
+                             "--supervise")
+    stat_p.add_argument("--input", metavar="VIRT", default="/stream.log")
+    stat_p.add_argument("--tail", metavar="HOST",
+                        help="host file to tail as the growing input")
+    stat_p.add_argument("--rounds", type=int, default=1)
+    stat_p.add_argument("--grow", type=int, default=65536, metavar="BYTES")
+    stat_p.add_argument("--seed", type=int, default=0)
 
     prof_p = sub.add_parser(
         "profile", help="run a script with tracing and print the "
@@ -148,15 +189,17 @@ def _main(argv=None) -> int:
             set_splice_enabled(False)
         text = _script_text(args)
         machine = profile(args.machine)
+        metrics = _make_metrics(args)
         if args.supervise:
-            return _supervise(args, text, machine)
+            return _supervise(args, text, machine, metrics=metrics)
         optimizer = make_engine(args.engine)
         tracer = None
         if args.trace:
             from .obs import Tracer
 
             tracer = Tracer()
-        shell = Shell(machine, optimizer=optimizer, tracer=tracer)
+        shell = Shell(machine, optimizer=optimizer, tracer=tracer,
+                      metrics=metrics)
         for spec in args.file:
             host, _, virt = spec.partition(":")
             with open(host, "rb") as fh:
@@ -174,7 +217,12 @@ def _main(argv=None) -> int:
             dump_chrome(tracer, args.trace)
             print(f"[trace: {len(tracer.records)} records -> {args.trace}]",
                   file=sys.stderr)
+        if metrics is not None:
+            _export_metrics(metrics, shell.kernel.now, args.metrics)
         return result.status
+
+    if args.cmd == "stat":
+        return _stat(args)
 
     if args.cmd == "profile":
         from .obs import Tracer, dump_chrome, render_report
@@ -246,7 +294,25 @@ def _main(argv=None) -> int:
     return 2
 
 
-def _supervise(args, text: str, machine) -> int:
+def _make_metrics(args):
+    if not getattr(args, "metrics", None):
+        return None
+    from .obs import MetricsRegistry
+
+    return MetricsRegistry(interval=getattr(args, "interval", 0.25))
+
+
+def _export_metrics(metrics, now: float, path: str) -> None:
+    from .obs import dump_snapshot
+
+    metrics.finish(now)
+    dump_snapshot(metrics, path)
+    print(f"[metrics: {len(metrics.series)} series, "
+          f"{len(metrics.windows)} window(s) -> {path}]", file=sys.stderr)
+
+
+def _supervise(args, text: str, machine, metrics=None,
+               emit_output: bool = True) -> int:
     """``jash run --supervise``: journaled rounds over a growing input,
     resumable from the checkpoint directory after a crash."""
     from .supervise import (FileTailSource, Supervisor, SuperviseConfig,
@@ -257,7 +323,7 @@ def _supervise(args, text: str, machine) -> int:
               file=sys.stderr)
         return 2
     tracer = None
-    if args.trace:
+    if getattr(args, "trace", None):
         from .obs import Tracer
 
         tracer = Tracer()
@@ -265,7 +331,7 @@ def _supervise(args, text: str, machine) -> int:
               else SyntheticSource(seed=args.seed))
     config = SuperviseConfig(script=text, checkpoint_dir=args.checkpoint,
                              input_path=args.input, machine=machine,
-                             tracer=tracer)
+                             tracer=tracer, metrics=metrics)
     supervisor = Supervisor(config, source)
     repairs = supervisor.resume()
     if repairs["records"]:
@@ -281,14 +347,55 @@ def _supervise(args, text: str, machine) -> int:
               f"{report.attempts} attempt(s), {report.mode} commit, "
               f"output {report.output_len}B, saved {report.saved_bytes}B]",
               file=sys.stderr)
-    sys.stdout.buffer.write(supervisor.committed_output())
-    sys.stdout.flush()
+    if emit_output:
+        sys.stdout.buffer.write(supervisor.committed_output())
+        sys.stdout.flush()
     if tracer is not None:
         from .obs import dump_chrome
 
         dump_chrome(tracer, args.trace)
         print(f"[trace: {len(tracer.records)} records -> {args.trace}]",
               file=sys.stderr)
+    if metrics is not None and supervisor.shell is not None:
+        metrics.finish(supervisor.shell.kernel.now)
+        if getattr(args, "metrics", None):
+            _export_metrics(metrics, supervisor.shell.kernel.now,
+                            args.metrics)
+    return 0
+
+
+def _stat(args) -> int:
+    """``jash stat``: run the workload with the metrics plane installed
+    and print the windowed telemetry report (script stdout is
+    suppressed; telemetry is the product)."""
+    from .obs import MetricsRegistry, render_prometheus, render_stat
+
+    text = _script_text(args)
+    machine = profile(args.machine)
+    metrics = MetricsRegistry(interval=args.interval)
+    if args.supervise:
+        status = _supervise(args, text, machine, metrics=metrics,
+                            emit_output=False)
+        if status != 0:
+            return status
+    else:
+        optimizer = make_engine(args.engine)
+        shell = Shell(machine, optimizer=optimizer, metrics=metrics)
+        for spec in args.file:
+            host, _, virt = spec.partition(":")
+            with open(host, "rb") as fh:
+                shell.fs.write_bytes(virt or "/" + host, fh.read())
+        result = shell.run(text)
+        sys.stderr.write(result.err)
+        print(f"[status {result.status}, virtual time {result.elapsed:.4f}s "
+              f"on {machine.name}, engine {args.engine}]", file=sys.stderr)
+        metrics.finish(shell.kernel.now)
+        if args.metrics:
+            _export_metrics(metrics, shell.kernel.now, args.metrics)
+    if args.format == "prom":
+        sys.stdout.write(render_prometheus(metrics))
+    else:
+        sys.stdout.write(render_stat(metrics, top=args.top))
     return 0
 
 

@@ -63,6 +63,11 @@ class Probe:
     #: tokenizing stage such as ``tr -cs A-Za-z '\n'``
     avg_token_bytes: float = 8.0
     runnable_load: int = 0
+    #: measured per-command costs (repro.obs.metrics.ObservedCosts) from
+    #: the metrics plane; None ⇒ pure static estimates.  Only populated
+    #: when JashConfig.profile_feedback is on, so decisions stay
+    #: bit-identical with the flag off.
+    observed: Optional[object] = None
 
     @property
     def input_lines(self) -> float:
@@ -113,10 +118,22 @@ def _stage_flows(region: Region, probe: Probe) -> list[tuple[float, float]]:
     return flows
 
 
-def _stage_cpu(stage, nbytes: float, avg_line: float) -> float:
-    coeff = cpu_coeff(stage.argv[0])
-    cpu = coeff * nbytes
-    if stage.argv[0] == "sort":
+def _coeff(command: str, observed) -> float:
+    """CPU-per-byte for ``command``: the metrics plane's measurement
+    when profile feedback supplied one, the static table otherwise."""
+    if observed is not None:
+        measured = observed.coeff(command)
+        if measured is not None:
+            return measured
+    return cpu_coeff(command)
+
+
+def _stage_cpu(stage, nbytes: float, avg_line: float, observed=None) -> float:
+    cpu = _coeff(stage.argv[0], observed) * nbytes
+    if stage.argv[0] == "sort" and (
+            observed is None or observed.coeff("sort") is None):
+        # the n·log n comparison term is folded into a measured
+        # coefficient already; only add it to the static estimate
         lines = max(1.0, nbytes / avg_line)
         cpu += lines * math.log2(max(2.0, lines)) * SORT_CMP_COST
     return cpu
@@ -130,7 +147,8 @@ def estimate_baseline(region: Region, probe: Probe) -> CostEstimate:
     stream_peak = 0.0
     blocking_cpu = 0.0
     for stage, (nbytes, avg_line) in zip(region.stages, flows):
-        cpu = _stage_cpu(stage, nbytes, avg_line) / probe.cpu_speed
+        cpu = _stage_cpu(stage, nbytes, avg_line,
+                         probe.observed) / probe.cpu_speed
         if stage.spec.blocking:
             blocking_cpu += cpu
         else:
@@ -181,7 +199,7 @@ def estimate_parallel(region: Region, probe: Probe, width: int, mode: str,
     par = min(width, effective_cores)
     run_cpu = 0.0
     for stage, (nbytes, avg_line) in zip(run_stages, flows[run.start : run.end]):
-        run_cpu += _stage_cpu(stage, nbytes / width, avg_line)
+        run_cpu += _stage_cpu(stage, nbytes / width, avg_line, probe.observed)
     # branches beyond core count time-share
     run_cpu = run_cpu / probe.cpu_speed * (width / par)
 
@@ -199,15 +217,17 @@ def estimate_parallel(region: Region, probe: Probe, width: int, mode: str,
                      * math.log2(max(2, width)) * SORT_CMP_COST
                      + merged_bytes * CPU_PER_BYTE["sort"]) / probe.cpu_speed
     elif run.agg_kind is AggKind.RERUN:
-        merge_cpu = merged_bytes * cpu_coeff(run.agg_argv[0] if run.agg_argv
-                                             else "default") / probe.cpu_speed
+        merge_cpu = merged_bytes * _coeff(
+            run.agg_argv[0] if run.agg_argv else "default",
+            probe.observed) / probe.cpu_speed
     else:
         merge_cpu = merged_bytes * 1e-9 / probe.cpu_speed
 
     down_cpu = 0.0
     for stage, (nbytes, avg_line) in zip(region.stages[run.end :],
                                          flows[run.end :]):
-        down_cpu += _stage_cpu(stage, nbytes, avg_line) / probe.cpu_speed
+        down_cpu += _stage_cpu(stage, nbytes, avg_line,
+                               probe.observed) / probe.cpu_speed
 
     blocking = any(s.spec.blocking for s in run_stages)
     if blocking:

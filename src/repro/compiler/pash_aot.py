@@ -162,6 +162,9 @@ class PashOptimizer:
             return None
         kernel = proc.kernel
         tracer = getattr(kernel, "tracer", None)
+        metrics = getattr(kernel, "metrics", None)
+        if metrics is not None:
+            metrics.counter("aot.regions").inc()
         exec_start = kernel.now
         snapshot = tracer.region_begin() if tracer is not None else None
         if not self.config.transactional:
@@ -180,6 +183,8 @@ class PashOptimizer:
             plan, proc, cwd=interp.state.cwd,
             policy=self.config.retry, report=report)
         if report.gave_up:
+            if metrics is not None:
+                metrics.counter("aot.fallbacks").inc()
             if tracer is not None:
                 tracer.instant("aot", "aot.fallback", kernel.now, proc,
                                command=text, attempts=report.attempts,

@@ -196,6 +196,9 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
                         attempt=report.attempts, status=status,
                         suspected=suspected,
                         faults_fired=faults.fired - mark)
+        metrics = getattr(kernel, "metrics", None)
+        if metrics is not None:
+            metrics.counter("tx.attempts").inc()
         if not suspected:
             yield from _commit(proc, staging, staged_path, sink_path, cwd)
             for path in plan.temp_files:
@@ -205,6 +208,8 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
                                attempt=report.attempts, status=status,
                                sink=tracer.canon_path(sink_path)
                                if sink_path is not None else "stdout")
+            if metrics is not None:
+                metrics.counter("tx.commits").inc()
             return status
         report.fault_failures += 1
         _rollback(proc, plan, staged_path, cwd)
@@ -219,6 +224,8 @@ def execute_plan_transactional(plan: Plan, proc: Process, cwd: str = "/",
             tracer.instant("tx", "tx.rollback", kernel.now, proc,
                            attempt=report.attempts, status=status,
                            retrying=retryable and delay is not None)
+        if metrics is not None:
+            metrics.counter("tx.rollbacks").inc()
         if not retryable or delay is None:
             report.gave_up = True
             return status

@@ -84,10 +84,14 @@ class IncrementalOptimizer:
         self.config = config or IncrementalConfig()
         self.cache = cache if cache is not None else IncrementalCache()
         self.events: list[IncEvent] = []
+        #: the metrics registry of the kernel currently executing us
+        #: (refreshed at every try_execute; _note folds decisions in)
+        self._metrics = None
 
     # -- the hook ---------------------------------------------------------------
 
     def try_execute(self, interp, proc, node: Command):
+        self._metrics = getattr(proc.kernel, "metrics", None)
         text = unparse(node)
         stages = pipeline_stages(node)
         if stages is None:
@@ -247,6 +251,11 @@ class IncrementalOptimizer:
     def _note(self, text: str, decision: str, reason: str,
               saved_bytes: int = 0) -> None:
         self.events.append(IncEvent(text, decision, reason, saved_bytes))
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("inc.decisions", decision=decision).inc()
+            if saved_bytes:
+                metrics.counter("inc.saved_bytes").inc(float(saved_bytes))
 
     def _fired(self, proc) -> int:
         """Total faults the kernel's plan has injected so far (0 when
@@ -261,6 +270,9 @@ class IncrementalOptimizer:
         if tracer is not None:
             tracer.instant("inc", "inc.cache_invalid", proc.kernel.now, proc,
                            key=key[:16], reason=reason)
+        metrics = getattr(proc.kernel, "metrics", None)
+        if metrics is not None:
+            metrics.counter("inc.cache_invalid", reason=reason).inc()
 
     def _store(self, key: str, argv_sig: str, output: bytes, status: int,
                input_files, fs, appended_from: Optional[int] = None) -> None:

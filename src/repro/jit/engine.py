@@ -87,6 +87,12 @@ class JashConfig:
     transactional: bool = True
     #: per-width retry policy for transactional execution
     retry: RetryPolicy = DEFAULT_REGION_POLICY
+    #: feed measured per-command costs from the kernel's metrics
+    #: registry (repro.obs.metrics) into the cost model in place of the
+    #: static estimates.  Off by default; with the flag off — or on but
+    #: with no registry installed — every decision is bit-identical to
+    #: the estimate-only engine (test-enforced).
+    profile_feedback: bool = False
 
 
 class JashOptimizer:
@@ -136,6 +142,7 @@ class JashOptimizer:
 
         kernel = proc.kernel
         tracer = getattr(kernel, "tracer", None)
+        metrics = getattr(kernel, "metrics", None)
         text = unparse(node)
         stages_ast = pipeline_stages(node)
         if stages_ast is None:
@@ -152,6 +159,8 @@ class JashOptimizer:
         cert = self._certs.get(id(node))
         if cert is not None:
             self.cert_hits += 1
+            if metrics is not None:
+                metrics.counter("jit.cert_hits").inc()
             if tracer is not None:
                 tracer.instant("jit", "jit.cert_hit", kernel.now, proc,
                                command=text, verdict=cert.verdict)
@@ -164,6 +173,8 @@ class JashOptimizer:
         else:
             if self._analysis is not None:
                 self.cert_misses += 1
+                if metrics is not None:
+                    metrics.counter("jit.cert_misses").inc()
                 if tracer is not None:
                     tracer.instant("jit", "jit.cert_miss", kernel.now, proc,
                                    command=text)
@@ -203,20 +214,35 @@ class JashOptimizer:
             self._skip(text, "input below optimization threshold",
                        tracer=tracer, proc=proc)
             return None
-        probe = probe_machine(proc, input_bytes, avg_line, avg_token)
+        observed = None
+        if self.config.profile_feedback:
+            from ..obs.metrics import ObservedCosts
+
+            observed = ObservedCosts.from_registry(
+                getattr(kernel, "metrics", None))
+        probe = probe_machine(proc, input_bytes, avg_line, avg_token,
+                              observed=observed)
         # the pre-screen passed: pay for a full compilation
         yield from proc.cpu(self.config.compile_cost_s)
 
         # 5. cost-based decision, no-regression objective
         file_sizes = fs_file_sizes(proc.fs, interp.state.cwd)
         decision: Decision = self.optimizer.choose(region, probe, file_sizes)
+        if metrics is not None:
+            metrics.counter("jit.compiles").inc()
+            metrics.counter(
+                "jit.decisions",
+                decision="optimized" if decision.transformed
+                else "declined").inc()
         if tracer is not None:
+            extra = {"feedback": True} if observed is not None else {}
             tracer.span("jit", "jit.compile", compile_start, kernel.now, proc,
                         command=text, transformed=decision.transformed,
                         width=decision.plan.width if decision.transformed else 1,
                         input_bytes=input_bytes, reason=decision.reason,
                         estimate_s=round(decision.estimate.seconds, 6),
-                        baseline_s=round(decision.baseline.seconds, 6))
+                        baseline_s=round(decision.baseline.seconds, 6),
+                        **extra)
         if not decision.transformed:
             self._skip(text, decision.reason,
                        baseline=decision.baseline.seconds,
@@ -261,6 +287,8 @@ class JashOptimizer:
             report.merge(rung)
             if not rung.gave_up:
                 break
+            if metrics is not None:
+                metrics.counter("jit.degrade_steps").inc()
             next_plan = None
             next_width = width // 2
             while next_width >= 2 and next_plan is None:
@@ -328,6 +356,10 @@ class JashOptimizer:
               tracer=None, proc=None) -> None:
         self.events.append(JitEvent(text, "interpreted", reason,
                                     baseline_s=baseline))
+        if proc is not None:
+            metrics = getattr(proc.kernel, "metrics", None)
+            if metrics is not None:
+                metrics.counter("jit.decisions", decision="interpreted").inc()
         if tracer is not None and proc is not None:
             tracer.instant("jit", "jit.skip", proc.kernel.now, proc,
                            command=text, reason=reason)

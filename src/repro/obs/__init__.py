@@ -28,11 +28,21 @@ from .export import (
     dumps_chrome,
     validate_chrome_trace,
 )
+from .metrics import (
+    MetricsRegistry,
+    ObservedCosts,
+    dump_snapshot,
+    dumps_snapshot,
+    render_prometheus,
+)
+from .stat import render_stat
 from .tracer import TraceRecord, Tracer, format_record
 
 __all__ = [
     "Tracer", "TraceRecord", "format_record", "ResourceAccounting",
     "ProcStats", "PipeStats", "RegionStats", "Hop", "critical_path",
     "render_report", "chrome_events", "chrome_trace", "dump_chrome",
-    "dumps_chrome", "validate_chrome_trace",
+    "dumps_chrome", "validate_chrome_trace", "MetricsRegistry",
+    "ObservedCosts", "dump_snapshot", "dumps_snapshot",
+    "render_prometheus", "render_stat",
 ]

@@ -39,6 +39,8 @@ class ProcStats:
     stall_write_s: float = 0.0  # blocked on a full pipe (backpressure)
     wait_s: float = 0.0         # blocked in wait() on children
     net_bytes: int = 0
+    splice_bytes: int = 0       # moved by kernel-side splice pumps
+    splice_chunks: int = 0
     pipes_read: set = field(default_factory=set)     # canonical pipe keys
     pipes_written: set = field(default_factory=set)
     waited_on: set = field(default_factory=set)      # child pids
@@ -98,6 +100,17 @@ class ResourceAccounting:
         self.per_process: dict[int, ProcStats] = {}
         self.pipes: dict[int, PipeStats] = {}
         self.regions: list[RegionStats] = []
+        #: kernel this accounting observes (set by Tracer.attach) — lets
+        #: totals() surface the syscall-dispatch counter; ``dispatch_base``
+        #: carries counts over from earlier kernels of a resumed run
+        self.kernel = None
+        self.dispatch_base = 0
+
+    def attach(self, kernel) -> None:
+        old = self.kernel
+        if old is not None and old is not kernel:
+            self.dispatch_base += old.dispatches
+        self.kernel = kernel
 
     # -- record access ---------------------------------------------------------
 
@@ -130,6 +143,9 @@ class ResourceAccounting:
             "stall_write_s": 0.0,
             "wait_s": 0.0,
             "net_bytes": 0.0,
+            "dispatches": float(self.dispatch_base) + (
+                float(self.kernel.dispatches)
+                if self.kernel is not None else 0.0),
         }
         for st in self.per_process.values():
             t["cpu_s"] += st.cpu_s
@@ -174,8 +190,15 @@ class ResourceAccounting:
                 st.disk_time_s + st.disk_wait_s, st.stall_write_s,
                 st.stall_read_s, st.wait_s,
             ])
-        return format_table(
+        out = format_table(
             ["pid", "process", "node", "wall_s", "bound", "cpu_s",
              "disk_s", "backpr_s", "inwait_s", "childwait_s"],
             rows,
         )
+        totals = self.totals()
+        if totals["dispatches"]:
+            out += f"\nsyscall dispatches: {int(totals['dispatches'])}"
+        spliced = sum(s.splice_bytes for s in self.per_process.values())
+        if spliced:
+            out += f"  (spliced bytes: {spliced})"
+        return out

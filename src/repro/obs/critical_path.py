@@ -80,8 +80,9 @@ def render_report(tracer: Tracer, top: int = 8) -> str:
     rows = []
     for i, hop in enumerate(chain, 1):
         st = hop.stats
+        name = st.name + (" [splice]" if st.splice_bytes else "")
         rows.append([
-            i, st.pid, st.name, st.node, st.wall_s, hop.bound,
+            i, st.pid, name, st.node, st.wall_s, hop.bound,
             hop.breakdown["cpu"], hop.breakdown["disk"],
             hop.breakdown["backpressure"], hop.breakdown["input-wait"],
             hop.breakdown["child-wait"],
@@ -97,6 +98,38 @@ def render_report(tracer: Tracer, top: int = 8) -> str:
         f"{slow.bound}-bound for {slow.breakdown[slow.bound]:.4f}s of "
         f"{slow.stats.wall_s:.4f}s wall")
 
+    splices = [r for r in tracer.records if r.cat == "splice"]
+    if splices:
+        lines.append(f"== splice fast path ({len(splices)} pump(s)) ==")
+        for r in splices[:top]:
+            dsts = ",".join(r.args.get("dst", []))
+            err = f" error={r.args['error']}" if "error" in r.args else ""
+            lines.append(
+                f"pid {r.pid}: {r.args.get('src')} -> {dsts}  "
+                f"{r.args.get('bytes', 0)} bytes in "
+                f"{r.args.get('chunks', 0)} chunk(s), "
+                f"{r.dur:.4f}s{err}")
+        if len(splices) > top:
+            lines.append(f"... {len(splices) - top} more")
+    rounds = [r for r in tracer.records
+              if r.cat == "supervise" and r.name == "supervise.round"]
+    if rounds:
+        events = [r for r in tracer.records
+                  if r.cat == "supervise" and r.name != "supervise.round"]
+        lines.append(f"== supervision ({len(rounds)} round(s)) ==")
+        for r in rounds[:top]:
+            lines.append(
+                f"round {r.args.get('round', '?')}: engine="
+                f"{r.args.get('engine', '?')} attempts="
+                f"{r.args.get('attempts', '?')} {r.dur:.4f}s")
+        if len(rounds) > top:
+            lines.append(f"... {len(rounds) - top} more")
+        if events:
+            counts: dict[str, int] = {}
+            for r in events:
+                counts[r.name] = counts.get(r.name, 0) + 1
+            lines.append("events: " + " ".join(
+                f"{name}={n}" for name, n in sorted(counts.items())))
     notes = [r for r in tracer.records
              if r.cat == "disk" and r.name.startswith("disk.credits_exhausted")]
     if notes:

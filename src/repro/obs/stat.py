@@ -1,0 +1,178 @@
+"""``jash stat`` — live-telemetry tables over a metrics registry.
+
+Renders the :class:`~repro.obs.metrics.MetricsRegistry` the way a
+``vmstat``/``iostat`` user expects: one row per virtual-time sampling
+window with the *delta* of each headline total (syscall dispatches,
+CPU seconds, disk and pipe bytes, backpressure stalls), followed by
+top-N tables (commands by CPU/disk/stall time), per-pipe backpressure,
+and the incremental-cache hit rate over time.
+
+Everything here reads the in-memory window rows (full value vectors),
+not the sparse snapshot export, so it must be handed the live registry
+(the CLI runs the workload and renders in-process).
+"""
+
+from __future__ import annotations
+
+from ..bench.report import format_table
+from .metrics import MetricsRegistry
+
+#: headline totals on the per-window overview table:
+#: column header -> instrument name whose label sets are summed
+_OVERVIEW = (
+    ("dispatch", "kernel.dispatches"),
+    ("cpu_s", "proc.cpu_s"),
+    ("disk_B", "disk.bytes"),
+    ("pipe_B", "pipe.write_bytes"),
+    ("stall_s", "pipe.stall_s"),
+    ("faults", "faults.fired"),
+)
+
+
+def _window_totals(registry: MetricsRegistry) -> list[tuple]:
+    """Per-window summed totals for the overview names.
+
+    Window rows carry the full value vector at sample time; series
+    registered later are absent from earlier rows and count as 0.
+    """
+    wanted = {name for _h, name in _OVERVIEW}
+    idx_name = [(i, name) for i, (name, _labels, _inst)
+                in enumerate(registry.series) if name in wanted]
+    out = []
+    for t0, t1, values in registry.windows:
+        totals = {name: 0.0 for name in wanted}
+        for i, name in idx_name:
+            if i < len(values):
+                totals[name] += values[i]
+        out.append((t0, t1, totals))
+    return out
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _overview_table(registry: MetricsRegistry) -> str:
+    headers = ["window", *(h for h, _n in _OVERVIEW)]
+    rows = []
+    prev = {name: 0.0 for _h, name in _OVERVIEW}
+    for t0, t1, totals in _window_totals(registry):
+        span = f"[{t0:.3f}, {t1:.3f}]" if t1 > t0 else f"[{t0:.3f}]"
+        rows.append([span, *(_fmt(totals[name] - prev[name])
+                             for _h, name in _OVERVIEW)])
+        prev = totals
+    if not rows:
+        rows.append(["(no samples)"] + [""] * len(_OVERVIEW))
+    return format_table(headers, rows,
+                        title="per-window deltas (virtual clock)")
+
+
+def _by_proc(registry: MetricsRegistry, names: tuple[str, ...],
+             label: str = "proc") -> dict[str, float]:
+    out: dict[str, float] = {}
+    for name, labels, inst in registry.series:
+        if name not in names:
+            continue
+        who = dict(labels).get(label)
+        if who is None:
+            continue
+        out[who] = out.get(who, 0.0) + inst.sample()
+    return out
+
+
+def _top_table(registry: MetricsRegistry, top: int) -> str:
+    cpu = _by_proc(registry, ("proc.cpu_s",))
+    disk = _by_proc(registry, ("proc.disk_bytes",))
+    read = _by_proc(registry, ("proc.read_bytes",))
+    stall = _by_proc(registry, ("proc.stall_s",))
+    disp = _by_proc(registry, ("proc.dispatches",))
+    procs = sorted(set(cpu) | set(disk) | set(read) | set(stall),
+                   key=lambda p: (-cpu.get(p, 0.0), p))[:top]
+    rows = [[p, f"{cpu.get(p, 0.0):.3f}", _fmt(disk.get(p, 0.0)),
+             _fmt(read.get(p, 0.0)), f"{stall.get(p, 0.0):.3f}",
+             _fmt(disp.get(p, 0.0))] for p in procs]
+    if not rows:
+        rows.append(["(none)", "", "", "", "", ""])
+    return format_table(
+        ["proc", "cpu_s", "disk_B", "read_B", "stall_s", "dispatch"],
+        rows, title=f"top {top} processes by cpu")
+
+
+def _pipe_table(registry: MetricsRegistry) -> str:
+    write: dict[int, float] = {}
+    stalls: dict[int, float] = {}
+    stall_s: dict[int, float] = {}
+    peak: dict[int, float] = {}
+    for name, labels, inst in registry.series:
+        key = dict(labels).get("pipe")
+        if key is None:
+            continue
+        if name == "pipe.write_bytes":
+            write[key] = write.get(key, 0.0) + inst.value
+        elif name == "pipe.stalls":
+            stalls[key] = stalls.get(key, 0.0) + inst.value
+        elif name == "pipe.stall_s":
+            stall_s[key] = stall_s.get(key, 0.0) + inst.value
+        elif name == "pipe.occupancy":
+            peak[key] = max(peak.get(key, 0.0), inst.peak)
+    keys = sorted(set(write) | set(stalls) | set(peak))
+    rows = [[f"pipe:{k}", _fmt(write.get(k, 0.0)), _fmt(peak.get(k, 0.0)),
+             _fmt(stalls.get(k, 0.0)), f"{stall_s.get(k, 0.0):.3f}"]
+            for k in keys]
+    if not rows:
+        rows.append(["(none)", "", "", "", ""])
+    return format_table(
+        ["pipe", "write_B", "peak_occ", "stalls", "stall_s"],
+        rows, title="pipe backpressure")
+
+
+def _cache_table(registry: MetricsRegistry) -> str:
+    """Incremental/JIT cache behaviour over the sampled windows."""
+    # a "hit" is reused work: a JIT certificate-cache hit, or an
+    # incremental replay/extension; a "miss" compiled or recomputed
+    hit_decisions = ("replayed", "extended")
+    miss_decisions = ("computed",)
+    wanted: dict[int, str] = {}
+    for i, (name, labels, _inst) in enumerate(registry.series):
+        if name == "inc.decisions":
+            decision = dict(labels).get("decision", "?")
+            if decision in hit_decisions:
+                wanted[i] = "hits"
+            elif decision in miss_decisions:
+                wanted[i] = "misses"
+        elif name == "jit.cert_hits":
+            wanted[i] = "hits"
+        elif name == "jit.cert_misses":
+            wanted[i] = "misses"
+    rows = []
+    prev: dict[str, float] = {}
+    for t0, t1, values in registry.windows:
+        cur: dict[str, float] = {}
+        for i, col in wanted.items():
+            if i < len(values):
+                cur[col] = cur.get(col, 0.0) + values[i]
+        delta = {c: cur.get(c, 0.0) - prev.get(c, 0.0) for c in cur}
+        hits = delta.get("hits", 0.0)
+        misses = delta.get("misses", 0.0)
+        total = hits + misses
+        rate = f"{hits / total:.2f}" if total else "-"
+        span = f"[{t0:.3f}, {t1:.3f}]" if t1 > t0 else f"[{t0:.3f}]"
+        rows.append([span, _fmt(hits), _fmt(misses), rate])
+        prev = cur
+    if not rows:
+        rows.append(["(no samples)", "", "", ""])
+    return format_table(["window", "hits", "misses", "hit_rate"],
+                        rows, title="cache hit rate over time")
+
+
+def render_stat(registry: MetricsRegistry, top: int = 5) -> str:
+    """The full ``jash stat`` report (four tables, newline-separated)."""
+    parts = [
+        _overview_table(registry),
+        _top_table(registry, top),
+        _pipe_table(registry),
+        _cache_table(registry),
+    ]
+    return "\n\n".join(parts) + "\n"

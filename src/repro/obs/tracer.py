@@ -41,10 +41,9 @@ class TraceRecord:
     """One typed trace record (span, instant, or counter)."""
 
     name: str
-    cat: str      # "process" | "cpu" | "disk" | "pipe" | "wait" | "sched"
-                  # | "net" | "fault" | "syscall" | "jit" | "aot" | "tx"
-                  # | "analysis"
-                  # | "dshell"
+    cat: str      # "process" | "cpu" | "disk" | "pipe" | "splice" | "wait"
+                  # | "sched" | "net" | "fault" | "syscall" | "jit" | "aot"
+                  # | "tx" | "analysis" | "dshell" | "supervise"
     ph: str       # SPAN | INSTANT | COUNTER
     ts: float     # virtual seconds (span start)
     dur: float = 0.0
@@ -76,6 +75,7 @@ class Tracer:
         self._cpu: dict[int, tuple[float, float]] = {}    # start, work
         self._stall: dict[int, tuple[float, str, int]] = {}  # start, kind, pipe
         self._wait: dict[int, tuple[float, int]] = {}     # start, child pid
+        self._splice: dict[int, tuple[float, str, list]] = {}  # start, src, dsts
         # canonical renumbering for determinism
         self._pipe_keys: dict[int, int] = {}
         self._tmp_names: dict[str, str] = {}
@@ -93,6 +93,11 @@ class Tracer:
     def subscribe(self, fn) -> None:
         """Call ``fn(record)`` for every record as it is emitted."""
         self.subscribers.append(fn)
+
+    def attach(self, kernel) -> None:
+        """Bind to the kernel being traced (called by install_tracer) so
+        accounting can surface kernel-level counters like dispatches."""
+        self.accounting.attach(kernel)
 
     # -- canonical names -----------------------------------------------------------
 
@@ -174,6 +179,8 @@ class Tracer:
             self.span("cpu", "cpu", start, now, proc, killed=True)
         if proc.pid in self._stall:
             self.on_pipe_stall_end(now, proc, 0, killed=True)
+        if proc.pid in self._splice:  # pragma: no cover - kernel closes first
+            self.on_splice_end(now, proc, 0, 0, error="killed")
         if proc.pid in self._wait:
             start, child = self._wait.pop(proc.pid)
             st = self.accounting.proc(proc)
@@ -304,6 +311,36 @@ class Tracer:
             args["killed"] = True
         self.span("pipe", f"stall.{kind}", start, now, proc, **args)
 
+    # -- kernel hooks: splice fast path ------------------------------------------------------
+
+    def _endpoint(self, handle) -> str:
+        """Canonical name for a splice endpoint (pipe or file handle)."""
+        pipe = getattr(handle, "pipe", None)
+        if pipe is not None:
+            return f"pipe:{self.pipe_key(pipe)}"
+        path = getattr(handle, "path", None)
+        if path is not None:
+            return self.canon_path(path)
+        return type(handle).__name__
+
+    def on_splice_begin(self, now: float, proc, src, dsts) -> None:
+        self._splice[proc.pid] = (
+            now, self._endpoint(src), [self._endpoint(d) for d in dsts])
+
+    def on_splice_end(self, now: float, proc, nbytes: int, chunks: int,
+                      error: str = "") -> None:
+        entry = self._splice.pop(proc.pid, None)
+        if entry is None:
+            return
+        start, src, dsts = entry
+        st = self.accounting.proc(proc)
+        st.splice_bytes += nbytes
+        st.splice_chunks += chunks
+        args = {"bytes": nbytes, "chunks": chunks, "src": src, "dst": dsts}
+        if error:
+            args["error"] = error
+        self.span("splice", "splice", start, now, proc, **args)
+
     # -- kernel hooks: wait / net / scheduler ------------------------------------------------
 
     def on_wait_edge(self, proc, child) -> None:
@@ -338,8 +375,8 @@ class Tracer:
 
 
 def format_record(record: TraceRecord) -> str:
-    """Render a record as the legacy one-line text format (the
-    ``kernel.trace`` compatibility shim feeds these to its callback)."""
+    """Render a record as a one-line text string (debug printing and
+    ad-hoc subscriber callbacks)."""
     extra = ""
     if record.args:
         extra = " " + " ".join(f"{k}={v}" for k, v in sorted(record.args.items()))

@@ -58,13 +58,16 @@ class Shell:
                  optimizer=None,
                  persist_state: bool = False,
                  faults: Optional[FaultPlan] = None,
-                 tracer=None):
+                 tracer=None,
+                 metrics=None):
         self.machine = machine or laptop()
         self.kernel = kernel if kernel is not None else self.machine.make_kernel()
         self.optimizer = optimizer
         self.persist_state = persist_state
         if tracer is not None:
             self.kernel.install_tracer(tracer)
+        if metrics is not None:
+            self.kernel.install_metrics(metrics)
         if faults is not None:
             self.kernel.faults = faults
         self._state: Optional[ShellState] = None
@@ -72,6 +75,10 @@ class Shell:
     @property
     def tracer(self):
         return self.kernel.tracer
+
+    @property
+    def metrics(self):
+        return self.kernel.metrics
 
     @property
     def faults(self) -> Optional[FaultPlan]:
@@ -134,9 +141,10 @@ def run_script(script: str, machine: Optional[MachineSpec] = None,
                env: Optional[dict[str, str]] = None,
                optimizer=None,
                faults: Optional[FaultPlan] = None,
-               tracer=None) -> RunResult:
+               tracer=None, metrics=None) -> RunResult:
     """One-shot helper: build a machine, load ``files``, run ``script``."""
-    shell = Shell(machine, optimizer=optimizer, faults=faults, tracer=tracer)
+    shell = Shell(machine, optimizer=optimizer, faults=faults, tracer=tracer,
+                  metrics=metrics)
     for path, data in (files or {}).items():
         shell.fs.write_bytes(path, data)
     return shell.run(script, args=args, env=env)

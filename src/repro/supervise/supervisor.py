@@ -114,6 +114,10 @@ class SuperviseConfig:
     machine: Optional[object] = None  # MachineSpec
     faults: Optional[object] = None  # FaultPlan, installed on every shell
     tracer: Optional[object] = None  # obs.Tracer, installed on every shell
+    #: obs.MetricsRegistry, installed on every shell; the supervisor
+    #: additionally folds rounds/attempts/retries/journal bytes and
+    #: checkpoint age/lag into it
+    metrics: Optional[object] = None
 
 
 @dataclass
@@ -151,6 +155,9 @@ class Supervisor:
         self.resume_backoff_s = 0.0
         self._fed = 0        # input bytes present in the vfs
         self._committed = b""  # output as of the last journal record
+        # checkpoint age/lag tracking for the metrics plane
+        self._last_commit_t = 0.0
+        self._last_commit_offset = 0
 
     # -- plumbing -------------------------------------------------------------------
 
@@ -173,7 +180,8 @@ class Supervisor:
             self.shell = Shell(machine=self.config.machine,
                                optimizer=self._make_optimizer(self.engine),
                                faults=self.config.faults,
-                               tracer=self.config.tracer)
+                               tracer=self.config.tracer,
+                               metrics=self.config.metrics)
             data = self.source.replay(self._fed) if self._fed else b""
             self.shell.fs.write_bytes(self.config.input_path, data,
                                       mtime=self.shell.kernel.now)
@@ -183,6 +191,10 @@ class Supervisor:
         tracer = self.shell.tracer if self.shell is not None else None
         if tracer is not None:
             tracer.instant("supervise", name, self.shell.kernel.now, **args)
+        metrics = self.config.metrics
+        if metrics is not None:
+            metrics.counter("supervise.events",
+                            event=name.split(".", 1)[-1]).inc()
 
     def _sleep(self, delay: float) -> None:
         """Advance virtual time (backoff lives on the vOS clock)."""
@@ -237,6 +249,11 @@ class Supervisor:
                               shell.kernel.now, round=report.round,
                               engine=report.engine, attempts=report.attempts,
                               committed=report.committed, mode=report.mode)
+        metrics = self.config.metrics
+        if metrics is not None:
+            metrics.counter("supervise.rounds", engine=report.engine).inc()
+            metrics.counter("supervise.attempts").inc(report.attempts)
+            metrics.maybe_sample(shell.kernel.now)
         self.reports.append(report)
         self.round += 1
         return report
@@ -324,6 +341,17 @@ class Supervisor:
         report.output_len = len(output)
         report.mode = mode
         report.committed = True
+        metrics = self.config.metrics
+        if metrics is not None:
+            now = self.shell.kernel.now if self.shell is not None else 0.0
+            metrics.counter("supervise.journal_bytes").inc(len(seg))
+            metrics.counter("supervise.commits", mode=mode).inc()
+            metrics.gauge("supervise.checkpoint_age_s").set(
+                now - self._last_commit_t)
+            metrics.gauge("supervise.checkpoint_lag_bytes").set(
+                self._fed - self._last_commit_offset)
+            self._last_commit_t = now
+            self._last_commit_offset = self._fed
         if where == "post-commit":
             raise SimulatedCrash(f"round {report.round}: crash after commit")
 

@@ -191,6 +191,9 @@ class FaultPlan:
         #: structured trace stream, inline with kernel spans (wired by
         #: Kernel.install_tracer / the Kernel.faults setter)
         self.tracer = None
+        #: optional repro.obs.MetricsRegistry — firings increment the
+        #: faults.fired counter (wired by Kernel.install_metrics)
+        self.metrics = None
         self.reset()
 
     def reset(self) -> None:
@@ -228,6 +231,8 @@ class FaultPlan:
             self._budget_used += 1
         if self.tracer is not None:
             self.tracer.on_fault(now, event, self.ops)
+        if self.metrics is not None:
+            self.metrics.on_fault(now, event)
 
     def trace(self) -> list[str]:
         """The virtual-time fault trace (for determinism assertions)."""

@@ -17,7 +17,6 @@ the virtual time consumed.
 from __future__ import annotations
 
 import heapq
-import warnings
 from collections import deque
 from typing import Callable, Optional
 
@@ -80,7 +79,7 @@ class _SpliceState:
     """Kernel-side pump state for one in-flight :class:`SpliceReq`."""
 
     __slots__ = ("src", "src_fd", "dsts", "dst_fds", "coeff", "chunk",
-                 "parts", "total", "dst_i", "phase")
+                 "parts", "total", "chunks", "dst_i", "phase")
 
     def __init__(self, src, src_fd, dsts, dst_fds, coeff, chunk):
         self.src = src
@@ -91,6 +90,7 @@ class _SpliceState:
         self.chunk = chunk
         self.parts: list = []
         self.total = 0
+        self.chunks = 0
         self.dst_i = 0
         self.phase = "read"
 
@@ -133,8 +133,9 @@ class Kernel:
         #: structured tracer (repro.obs.Tracer) or None; every emission
         #: site is guarded so an untraced kernel pays one None-check
         self.tracer = None
-        self._trace_legacy: Optional[Callable[[str], None]] = None
-        self._legacy_subscribed = False
+        #: metrics registry (repro.obs.MetricsRegistry) or None — same
+        #: single-guard discipline as the tracer
+        self.metrics = None
         self.steps = 0
         #: syscall dispatches (one per request crossing the process →
         #: kernel boundary; splice pumps move data without re-dispatching)
@@ -148,8 +149,17 @@ class Kernel:
         """Attach a repro.obs.Tracer; fault plans installed before or
         after are wired into the same stream."""
         self.tracer = tracer
+        if tracer is not None:
+            tracer.attach(self)
         if self._faults is not None and tracer is not None:
             self._faults.tracer = tracer
+
+    def install_metrics(self, registry) -> None:
+        """Attach a repro.obs.MetricsRegistry; like the tracer, fault
+        plans installed before or after report into it too."""
+        self.metrics = registry
+        if self._faults is not None and registry is not None:
+            self._faults.metrics = registry
 
     @property
     def faults(self):
@@ -160,35 +170,8 @@ class Kernel:
         self._faults = plan
         if plan is not None and self.tracer is not None:
             plan.tracer = self.tracer
-
-    @property
-    def trace(self) -> Optional[Callable[[str], None]]:
-        """Deprecated: the pre-obs string-callback hook.  Setting it now
-        subscribes a formatting adapter to the structured Tracer."""
-        return self._trace_legacy
-
-    @trace.setter
-    def trace(self, fn: Optional[Callable[[str], None]]) -> None:
-        self._trace_legacy = fn
-        if fn is None:
-            return
-        warnings.warn(
-            "Kernel.trace is deprecated; install a repro.obs.Tracer via "
-            "Kernel.install_tracer() / Shell(tracer=...) instead",
-            DeprecationWarning, stacklevel=2)
-        from ..obs.tracer import Tracer, format_record
-
-        if self.tracer is None:
-            self.install_tracer(Tracer())
-        if not self._legacy_subscribed:
-            self._legacy_subscribed = True
-
-            def adapter(record):
-                callback = self._trace_legacy
-                if callback is not None:
-                    callback(format_record(record))
-
-            self.tracer.subscribe(adapter)
+        if plan is not None and self.metrics is not None:
+            plan.metrics = self.metrics
 
     # -- topology ----------------------------------------------------------------
 
@@ -221,6 +204,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None:
             tr.on_spawn(self.now, proc, parent)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_spawn(self.now, proc)
         return proc
 
     def kill_process(self, proc: Process, status: int = 137) -> None:
@@ -241,7 +227,13 @@ class Kernel:
 
     def _exit(self, proc: Process, status: int, error: Optional[str] = None) -> None:
         proc.state = DONE
-        proc._splice = None
+        if proc._splice is not None:
+            st = proc._splice
+            proc._splice = None
+            tr = self.tracer
+            if tr is not None:
+                tr.on_splice_end(self.now, proc, st.total, st.chunks,
+                                 error=error or "killed")
         proc.exit_status = int(status) & 0xFF if status is not None else 0
         if status is not None and not (0 <= int(status) <= 255):
             proc.exit_status = int(status) & 0xFF
@@ -261,6 +253,9 @@ class Kernel:
         proc.waiters.clear()
         if tr is not None:
             tr.on_exit(self.now, proc)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_exit(self.now, proc)
 
     def _close_fd(self, proc: Process, fd: int) -> None:
         handle = proc.fds.pop(fd, None)
@@ -345,6 +340,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None and tr.syscall_events:
             tr.on_syscall(self.now, proc, request)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_dispatch(proc, request)
         if isinstance(request, CpuReq):
             self._sys_cpu(proc, request)
         elif isinstance(request, ReadReq):
@@ -394,6 +392,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None:
             tr.on_cpu_begin(self.now, proc, work)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_cpu(self.now, proc, work)
 
     def _advance_cpu(self, node: Node) -> None:
         """Account progress of active CPU bursts on `node` up to `self.now`."""
@@ -619,6 +620,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None:
             tr.on_disk_submit(self.now, disk, request)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_disk_submit(self.now, disk, request)
         if disk.current is None:
             self._disk_start(disk, request)
         else:
@@ -638,6 +642,9 @@ class Kernel:
             tr = self.tracer
             if tr is not None:
                 tr.on_disk_complete(self.now, disk, request)
+            mx = self.metrics
+            if mx is not None:
+                mx.on_disk_complete(self.now, disk, request)
             self._ready.append((request.process, request.result, None))
         if disk.queue:
             self._disk_start(disk, disk.queue.pop(0))
@@ -647,6 +654,7 @@ class Kernel:
     def _pipe_read(self, proc: Process, pipe: Pipe, nbytes: int,
                    vector: bool = False) -> None:
         tr = self.tracer
+        mx = self.metrics
         if pipe.size:
             if vector:
                 data = pipe.pull_chunks(nbytes)
@@ -656,6 +664,8 @@ class Kernel:
                 n = len(data)
             if tr is not None:
                 tr.on_pipe_read(self.now, proc, pipe, n)
+            if mx is not None:
+                mx.on_pipe_read(self.now, proc, pipe, n)
             self._ready.append((proc, data, None))
             self._service_pipe_writers(pipe)
         elif pipe.writers == 0:
@@ -663,6 +673,8 @@ class Kernel:
         else:
             if tr is not None:
                 tr.on_pipe_stall_begin(self.now, proc, pipe, "read")
+            if mx is not None:
+                mx.on_pipe_stall_begin(self.now, proc, pipe, "read")
             pipe.read_waiters.append((proc, nbytes, vector))
 
     def _pipe_fault(self, proc: Process, pipe: Pipe,
@@ -706,6 +718,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None and pushed:
             tr.on_pipe_write(self.now, proc, pipe, pushed)
+        mx = self.metrics
+        if mx is not None and pushed:
+            mx.on_pipe_write(self.now, proc, pipe, pushed)
         if pushed:
             self._wake_pipe_readers(pipe)
         self._ready.append(
@@ -726,6 +741,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None:
             tr.on_pipe_write(self.now, proc, pipe, accepted)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_pipe_write(self.now, proc, pipe, accepted)
         if accepted:
             self._wake_pipe_readers(pipe)
         if accepted == len(data):
@@ -733,6 +751,8 @@ class Kernel:
         else:
             if tr is not None:
                 tr.on_pipe_stall_begin(self.now, proc, pipe, "write")
+            if mx is not None:
+                mx.on_pipe_stall_begin(self.now, proc, pipe, "write")
             view = data if isinstance(data, memoryview) else memoryview(data)
             pipe.write_waiters.append((proc, [view[accepted:]], accepted))
 
@@ -747,6 +767,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None:
             tr.on_pipe_write(self.now, proc, pipe, accepted)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_pipe_write(self.now, proc, pipe, accepted)
         if accepted:
             self._wake_pipe_readers(pipe)
         if not remaining:
@@ -754,10 +777,13 @@ class Kernel:
         else:
             if tr is not None:
                 tr.on_pipe_stall_begin(self.now, proc, pipe, "write")
+            if mx is not None:
+                mx.on_pipe_stall_begin(self.now, proc, pipe, "write")
             pipe.write_waiters.append((proc, remaining, accepted))
 
     def _wake_pipe_readers(self, pipe: Pipe) -> None:
         tr = self.tracer
+        mx = self.metrics
         while pipe.read_waiters and (pipe.size or pipe.writers == 0):
             proc, nbytes, vector = pipe.read_waiters.pop(0)
             if proc.state == DONE:
@@ -771,6 +797,9 @@ class Kernel:
             if tr is not None:
                 tr.on_pipe_stall_end(self.now, proc, n)
                 tr.on_pipe_read(self.now, proc, pipe, n)
+            if mx is not None:
+                mx.on_pipe_stall_end(self.now, proc)
+                mx.on_pipe_read(self.now, proc, pipe, n)
             self._ready.append((proc, data, None))
         if pipe.read_waiters or not pipe.write_waiters:
             return
@@ -778,6 +807,7 @@ class Kernel:
 
     def _service_pipe_writers(self, pipe: Pipe) -> None:
         tr = self.tracer
+        mx = self.metrics
         progressed = False
         while pipe.write_waiters and pipe.space() > 0:
             proc, parts, done = pipe.write_waiters.pop(0)
@@ -788,9 +818,13 @@ class Kernel:
             done += accepted
             if tr is not None and accepted:
                 tr.on_pipe_write(self.now, proc, pipe, accepted)
+            if mx is not None and accepted:
+                mx.on_pipe_write(self.now, proc, pipe, accepted)
             if not remaining:
                 if tr is not None:
                     tr.on_pipe_stall_end(self.now, proc, done)
+                if mx is not None:
+                    mx.on_pipe_stall_end(self.now, proc)
                 self._ready.append((proc, done, None))
             else:
                 pipe.write_waiters.insert(0, (proc, remaining, done))
@@ -800,11 +834,14 @@ class Kernel:
 
     def _break_pipe_writers(self, pipe: Pipe) -> None:
         tr = self.tracer
+        mx = self.metrics
         waiters, pipe.write_waiters = pipe.write_waiters, []
         for proc, _remaining, _done in waiters:
             if proc.state != DONE:
                 if tr is not None:
                     tr.on_pipe_stall_end(self.now, proc, _done, broken=True)
+                if mx is not None:
+                    mx.on_pipe_stall_end(self.now, proc)
                 self._ready.append((proc, None, BrokenPipe(f"pipe {pipe.id}")))
 
     # splice fast path -----------------------------------------------------------------
@@ -826,6 +863,9 @@ class Kernel:
         proc._splice = _SpliceState(src, request.src_fd, dsts,
                                     request.dst_fds, request.cpu_coeff,
                                     request.chunk)
+        tr = self.tracer
+        if tr is not None:
+            tr.on_splice_begin(self.now, proc, src, dsts)
         self._splice_read(proc, proc._splice)
 
     def _splice_read(self, proc: Process, st: "_SpliceState") -> None:
@@ -845,6 +885,10 @@ class Kernel:
         st = proc._splice
         if exc is not None:
             proc._splice = None
+            tr = self.tracer
+            if tr is not None:
+                tr.on_splice_end(self.now, proc, st.total, st.chunks,
+                                 error=type(exc).__name__)
             self._step(proc, None, exc)
             return
         if st.phase == "read":
@@ -852,6 +896,9 @@ class Kernel:
             if not parts:  # EOF: resume the generator with the byte total
                 total = st.total
                 proc._splice = None
+                tr = self.tracer
+                if tr is not None:
+                    tr.on_splice_end(self.now, proc, total, st.chunks)
                 self._step(proc, total, None)
                 return
             st.parts = parts
@@ -859,6 +906,10 @@ class Kernel:
             for part in parts:
                 nbytes += len(part)
             st.total += nbytes
+            st.chunks += 1
+            mx = self.metrics
+            if mx is not None:
+                mx.on_splice(proc, nbytes, len(parts))
             seconds = nbytes * st.coeff
             if seconds > 0:
                 st.phase = "cpu"
@@ -959,6 +1010,9 @@ class Kernel:
         tr = self.tracer
         if tr is not None:
             tr.on_net(self.now, proc, request.dst_node, request.nbytes)
+        mx = self.metrics
+        if mx is not None:
+            mx.on_net(self.now, proc, request.dst_node, request.nbytes)
         if self.faults is not None:
             kind = self.faults.on_net_send(self.now, proc, request.dst_node)
             if kind == NET_ERROR:
@@ -1031,3 +1085,6 @@ class Kernel:
         if tr is not None:
             tr.on_tick(self.now, len(self._ready),
                        sum(len(n.cpu_active) for n in self.nodes.values()))
+        mx = self.metrics
+        if mx is not None:
+            mx.maybe_sample(self.now)

@@ -1,8 +1,7 @@
 """Observability tests: tracer invariants, accounting, export schema,
-critical path, engine spans, and the legacy kernel.trace shim."""
+critical path, and engine spans."""
 
 import json
-import warnings
 
 import pytest
 
@@ -248,29 +247,13 @@ class TestEngineSpans:
         assert times == [ev.time for ev in plan.log]
 
 
-class TestLegacyShim:
-    def test_kernel_trace_setter_warns_and_formats(self):
+class TestFormatting:
+    def test_legacy_trace_shim_is_gone(self):
+        # the PR 2 kernel.trace DeprecationWarning shim was removed once
+        # every call site moved to the Tracer; assigning the attribute
+        # must not silently install anything
         shell = Shell(laptop())
-        lines = []
-        callback = lines.append
-        with pytest.warns(DeprecationWarning):
-            shell.kernel.trace = callback
-        shell.fs.write_bytes("/in.txt", b"b\na\n")
-        result = shell.run("sort /in.txt")
-        assert result.status == 0
-        assert lines
-        assert any("process" in line and "sort" in line for line in lines)
-        # the shim reads back as the installed callback
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            assert shell.kernel.trace is callback
-
-    def test_shim_reuses_installed_tracer(self):
-        tracer = Tracer()
-        shell = Shell(laptop(), tracer=tracer)
-        with pytest.warns(DeprecationWarning):
-            shell.kernel.trace = lambda line: None
-        assert shell.kernel.tracer is tracer
+        assert not hasattr(type(shell.kernel), "trace")
 
     def test_format_record_shapes(self):
         _, tracer, _ = traced_run()
