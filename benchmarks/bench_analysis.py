@@ -149,6 +149,145 @@ def analysis_table(results: dict) -> tuple[str, dict]:
     return table, results["scripts"]
 
 
+# -- S20: abstract-interpretation section -------------------------------------
+
+#: a constant-bound workload with a provably-dead branch: the S20 pass
+#: must prune the dead region while leaving the live decisions (and all
+#: output bytes) untouched with value_flow on or off
+DEAD_SCRIPT = (
+    "x=1\n"
+    "if [ $x -eq 2 ]; then cat /w.txt | sort > /out.txt; fi\n"
+    "cat /w.txt | sort | uniq > /out.txt"
+)
+
+#: commands that stop reading before end-of-input: their static volume
+#: is a sound upper bound but not a tight estimate
+PREFIX_READERS = frozenset(("head",))
+
+
+def collect_absint(n_bytes: int) -> dict:
+    """Per-script absint wall time, dead branches, and the static-vs-
+    observed volume comparison (cost-model error)."""
+    from repro.compiler.cost import StaticCosts
+    from repro.obs import MetricsRegistry
+    from repro.obs.metrics import ObservedCosts
+
+    files = make_files(n_bytes)
+    scripts = dict(SCRIPTS)
+    scripts["const-dead"] = DEAD_SCRIPT
+    rows = {}
+    for name, script in scripts.items():
+        metrics = MetricsRegistry()
+        optimizer = JashOptimizer(JashConfig(
+            optimizer=OptimizerConfig(min_input_bytes=4096)))
+        shell = Shell(laptop(), optimizer=optimizer, metrics=metrics)
+        for path, data in files.items():
+            shell.fs.write_bytes(path, data)
+        program = parse(script)
+        t0 = time.perf_counter()
+        analysis = analyze_program(program, fs=shell.fs)
+        absint_wall = time.perf_counter() - t0
+        result = shell.run(script)
+        assert result.status == 0, (name, result.err)
+        metrics.finish(shell.kernel.now)
+        observed = ObservedCosts.from_registry(metrics)
+        static = StaticCosts.from_analysis(analysis)
+        # cost-model error: the certificate's first-stage volume bound
+        # vs the bytes the metrics plane actually saw that command read.
+        # Prefix readers (head) stop early, so for them the static
+        # volume is an upper *bound*, not an estimate — recorded but
+        # excluded from the 2x accuracy gate.
+        comparisons = []
+        for cert in analysis.absint.cost_list:
+            if cert.kind != "region" or not cert.stage_bytes:
+                continue
+            cmd, static_bytes = cert.stage_bytes[0]
+            observed_bytes = (observed.bytes_seen.get(cmd, 0.0)
+                              if observed is not None else 0.0)
+            if observed_bytes > 0 and static_bytes > 0:
+                comparisons.append({
+                    "command": cmd, "static": static_bytes,
+                    "observed": observed_bytes,
+                    "ratio": static_bytes / observed_bytes,
+                    "bound_only": cmd in PREFIX_READERS,
+                })
+        stats = analysis.absint.stats()
+        rows[name] = {
+            "absint_wall_s": absint_wall,
+            "nodes": stats["absint_nodes"],
+            "widenings": stats["absint_widenings"],
+            "dead_branches": stats["dead_branches"],
+            "cost_certs": stats["cost_certs"],
+            "static_costs": len(static),
+            "comparisons": comparisons,
+        }
+    # the on/off bit-identity run for the dead-branch workload
+    on = _run_value_flow(DEAD_SCRIPT, files, True)
+    off = _run_value_flow(DEAD_SCRIPT, files, False)
+    rows["const-dead"]["identical_on_off"] = (on == off)
+    return {"scripts": rows, "n_bytes": n_bytes}
+
+
+def _run_value_flow(script: str, files: dict[str, bytes],
+                    value_flow: bool) -> tuple[bytes, bytes]:
+    optimizer = JashOptimizer(JashConfig(
+        value_flow=value_flow,
+        optimizer=OptimizerConfig(min_input_bytes=4096)))
+    shell = Shell(laptop(), optimizer=optimizer)
+    for path, data in files.items():
+        shell.fs.write_bytes(path, data)
+    result = shell.run(script)
+    assert result.status == 0, result.err
+    return result.stdout, shell.fs.read_bytes("/out.txt")
+
+
+def check_absint(results: dict) -> None:
+    """S20 acceptance: dead branches found, volume bounds within 2x of
+    the metrics plane, pruning changes no output byte."""
+    rows = results["scripts"]
+    assert rows["const-dead"]["dead_branches"] >= 1, \
+        "dead branch not found in the constant-guard workload"
+    assert rows["const-dead"]["identical_on_off"], \
+        "value-flow pruning changed output bytes"
+    all_comparisons = [c for row in rows.values()
+                       for c in row["comparisons"]]
+    gated = [c for c in all_comparisons if not c["bound_only"]]
+    assert gated, "no static-vs-observed volume comparison ran"
+    for c in gated:
+        assert 0.5 <= c["ratio"] <= 2.0, \
+            f"static volume {c['static']} vs observed {c['observed']} " \
+            f"for {c['command']}: off by more than 2x"
+    # the bound is still a bound, even for prefix readers
+    for c in all_comparisons:
+        assert c["ratio"] >= 0.5, \
+            f"static volume bound below observed bytes for {c['command']}"
+    for name, row in rows.items():
+        assert row["nodes"] > 0, name
+
+
+def absint_table(results: dict) -> tuple[str, dict]:
+    rows = []
+    for name, row in results["scripts"].items():
+        worst = max((abs(c["ratio"] - 1.0) for c in row["comparisons"]
+                     if not c["bound_only"]), default=None)
+        rows.append([
+            name,
+            f"{row['absint_wall_s'] * 1e3:.2f}ms",
+            row["nodes"],
+            row["widenings"],
+            row["dead_branches"],
+            row["cost_certs"],
+            f"{worst:+.1%}" if worst is not None else "-",
+        ])
+    table = format_table(
+        ["script", "absint wall", "nodes", "widenings", "dead",
+         "cost certs", "worst vol err"],
+        rows, title="S20: abstract interpretation "
+                    f"({results['n_bytes'] / 1e6:.1f} MB input)",
+    )
+    return table, results["scripts"]
+
+
 # -- pytest-benchmark entry points --------------------------------------------
 
 import pytest
@@ -157,6 +296,11 @@ import pytest
 @pytest.fixture(scope="module")
 def analysis_results():
     return collect(max(256_000, int(bench_mb() * 1e6 / 16)))
+
+
+@pytest.fixture(scope="module")
+def absint_results():
+    return collect_absint(max(256_000, int(bench_mb() * 1e6 / 16)))
 
 
 def test_analysis_table(analysis_results, benchmark):
@@ -168,6 +312,17 @@ def test_analysis_table(analysis_results, benchmark):
 def test_analysis_acceptance(analysis_results, benchmark):
     once(benchmark, lambda: None)
     check(analysis_results)
+
+
+def test_absint_table(absint_results, benchmark):
+    once(benchmark, lambda: None)
+    table, metrics = absint_table(absint_results)
+    record("analysis_absint", table, metrics=metrics)
+
+
+def test_absint_acceptance(absint_results, benchmark):
+    once(benchmark, lambda: None)
+    check_absint(absint_results)
 
 
 # -- standalone / CI smoke ----------------------------------------------------
@@ -187,12 +342,17 @@ def main(argv=None) -> int:
         n_bytes = max(256_000, int(bench_mb() * 1e6 / 16))
     results = collect(n_bytes)
     table, metrics = analysis_table(results)
+    absint_res = collect_absint(n_bytes)
+    abs_table, abs_metrics = absint_table(absint_res)
     if args.smoke:
         print(table)
+        print(abs_table)
     else:
         record("analysis", table, metrics=metrics)
+        record("analysis_absint", abs_table, metrics=abs_metrics)
     check(results)
-    print("S16: all acceptance checks passed")
+    check_absint(absint_res)
+    print("S16/S20: all acceptance checks passed")
     return 0
 
 

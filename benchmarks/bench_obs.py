@@ -185,6 +185,14 @@ def check(results: dict) -> None:
     registry = results["registries"]["metrics"]
     assert registry.sum_by_name("kernel.dispatches") > 0
     assert registry.windows, "no sampled windows"
+    # 6. the S20 abstract interpreter is witnessed on both planes when
+    # observability is on (compile_program ran over SCRIPT) — and the
+    # zero-record/zero-update gate in (1) above proves the same pass
+    # emitted *nothing* in the baseline/disabled runs
+    assert registry.sum_by_name("analysis.absint.nodes") > 0, \
+        "absint counters missing from the metrics plane"
+    assert any(r.name == "analysis.absint" for r in full.records), \
+        "absint span missing from the full trace"
 
 
 def check_deterministic(n_bytes: int) -> None:

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Negative example for the S20 value-flow analyzer (`jash check`):
+# every JS4xxx diagnostic below is intentional.  Do not run this —
+# it ends in a deliberate infinite loop; it exists to be analyzed.
+set -u
+
+echo "$banner"                  # JS4004: assigned only below this read
+banner="value-flow demo"
+echo "$banner"
+
+limit=3
+if [ "$limit" -eq 3 ]; then     # JS4002: guard is always true
+    echo "limit is three"
+else
+    echo "this arm is dead"
+fi
+
+false && echo "debug leftover"  # JS4005: the right side never runs
+
+for n in $(seq 5 1); do         # JS4006: constant-empty range
+    echo "$n"
+done
+
+seq 1 3 | sort | uniq           # a live, certifiable dataflow region
+
+while :; do                     # JS4003: no break/exit on any path
+    echo spin
+done
+echo "after the spin"           # JS4001: unreachable

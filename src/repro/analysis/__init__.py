@@ -12,11 +12,24 @@ compiler (S7) consult instead of re-deriving safety per run:
 * :mod:`repro.analysis.races`        — write-write / read-before-seal /
   write-under-read conflicts between concurrent statements;
 * :mod:`repro.analysis.certificates` — signed SafetyCertificates
-  (``safe_parallel`` / ``safe_reorder`` / ``unsafe``) keyed by AST node.
+  (``safe_parallel`` / ``safe_reorder`` / ``unsafe``) keyed by AST node;
+* :mod:`repro.analysis.absint`       — the S20 abstract interpreter
+  (value / exit-status / cardinality domains) producing dead-branch
+  facts, JS4xxx findings, and quantitative CostCertificates.
 
 Entry point: :func:`analyze_program`; CLI: ``jash check``.
 """
 
+from .absint import (
+    ABSINT_VERSION,
+    AbsintResult,
+    AbsStatus,
+    AbsValue,
+    CostCertificate,
+    Finding,
+    analyze_value_flow,
+    make_cost_certificate,
+)
 from .candidates import pipeline_stages, purity_reason
 from .certificates import (
     ANALYZER_VERSION,
@@ -43,4 +56,7 @@ __all__ = [
     "AbstractPath", "TOP", "may_alias", "word_to_path",
     "RaceFinding", "detect_races",
     "pipeline_stages", "purity_reason",
+    "ABSINT_VERSION", "AbsintResult", "AbsStatus", "AbsValue",
+    "CostCertificate", "Finding", "analyze_value_flow",
+    "make_cost_certificate",
 ]

@@ -109,6 +109,8 @@ class AnalysisResult:
     statements: list[StatementReport] = field(default_factory=list)
     races: list[RaceFinding] = field(default_factory=list)
     use_before_def: list[VarUse] = field(default_factory=list)
+    #: the S20 value-flow result (AbsintResult), when the pass ran
+    absint: object = None
     #: the analyzed program (kept so id()-keyed certificates stay valid)
     program: object = None
 
@@ -116,7 +118,7 @@ class AnalysisResult:
         by_verdict: dict[str, int] = {}
         for cert in self.cert_list:
             by_verdict[cert.verdict] = by_verdict.get(cert.verdict, 0) + 1
-        return {
+        out = {
             "statements": len(self.statements),
             "certificates": len(self.cert_list),
             "safe_parallel": by_verdict.get(SAFE_PARALLEL, 0),
@@ -125,9 +127,24 @@ class AnalysisResult:
             "races": len(self.races),
             "use_before_def": len(self.use_before_def),
         }
+        if self.absint is not None:
+            out.update(self.absint.stats())
+        return out
+
+    def dead_nodes(self) -> frozenset:
+        """ids of provably-dead nodes (empty when value flow was off)."""
+        if self.absint is None:
+            return frozenset()
+        return frozenset(self.absint.dead)
+
+    def cost_certificate(self, node) -> object:
+        """The CostCertificate covering ``node``, or None."""
+        if self.absint is None:
+            return None
+        return self.absint.cost_certificates.get(id(node))
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "analyzer": ANALYZER_VERSION,
             "summary": self.stats(),
             "statements": [s.to_dict() for s in self.statements],
@@ -138,22 +155,41 @@ class AnalysisResult:
                 for u in self.use_before_def
             ],
         }
+        if self.absint is not None:
+            out["value_flow"] = self.absint.to_dict()
+        return out
 
 
 def analyze_program(program: Command,
                     library: SpecLibrary | None = None,
                     allow_pure_cmdsub: bool = False,
-                    pure_commands: frozenset = frozenset()) -> AnalysisResult:
+                    pure_commands: frozenset = frozenset(),
+                    value_flow: bool = True,
+                    fs=None, cwd: str = "/") -> AnalysisResult:
     """The interprocedural whole-script pass.
 
     ``allow_pure_cmdsub``/``pure_commands`` must match the consuming
     engine's configuration — the purity verdicts are only transferable
     when both sides ask the same question.
-    """
+
+    ``value_flow`` additionally runs the S20 abstract interpreter
+    (:mod:`repro.analysis.absint`): provably-dead regions then get no
+    safety certificate (they can never be executed, and a wrong dead
+    fact only costs a cert miss — the runtime purity walk reaches the
+    identical decision), and loops/regions gain CostCertificates.
+    ``fs``/``cwd`` optionally ground the volume domain in a virtual
+    filesystem snapshot."""
     library = library or DEFAULT_LIBRARY
     effects = EffectAnalyzer(library)
     effects.register_functions(program)
     result = AnalysisResult(program=program)
+    dead: frozenset = frozenset()
+    if value_flow:
+        from .absint import analyze_value_flow
+
+        result.absint = analyze_value_flow(program, fs=fs, cwd=cwd,
+                                           library=library)
+        dead = frozenset(result.absint.dead)
 
     inside_pipeline: set[int] = set()
     for node in walk(program):
@@ -172,6 +208,8 @@ def analyze_program(program: Command,
         stages = pipeline_stages(node)
         if stages is None:
             continue
+        if id(node) in dead:
+            continue  # provably never executes: nothing to certify
         text = unparse(node)
         impure = purity_reason(stages, allow_pure_cmdsub, pure_commands)
         if impure is not None:

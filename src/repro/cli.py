@@ -489,10 +489,15 @@ def _check(args) -> int:
 
     if args.format == "json":
         payload = result.to_dict()
+        # deterministic order regardless of check registration or hash
+        # seed: position first, then code/message/context tie-breaks
         payload["diagnostics"] = [
             {"code": d.code, "severity": d.severity,
+             "line": d.line, "col": d.col,
              "message": d.message, "context": d.context}
-            for d in diagnostics
+            for d in sorted(diagnostics,
+                            key=lambda d: (d.line, d.col, d.code,
+                                           d.message, d.context))
         ]
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 1 if errors else 0

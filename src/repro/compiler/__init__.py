@@ -2,7 +2,14 @@
 rewrites, the cost-aware dataflow model, the resource-aware optimizer,
 and the AOT baseline driver."""
 
-from .cost import CostEstimate, DiskProbe, Probe, estimate_baseline, estimate_parallel
+from .cost import (
+    CostEstimate,
+    DiskProbe,
+    Probe,
+    StaticCosts,
+    estimate_baseline,
+    estimate_parallel,
+)
 from .driver import execute_plan, fs_file_sizes
 from .optimizer import Decision, OptimizerConfig, ResourceAwareOptimizer
 from .parallel import Plan, baseline_plan, find_parallel_run, parallelize
@@ -15,7 +22,8 @@ from .transactional import (
 )
 
 __all__ = [
-    "CostEstimate", "DiskProbe", "Probe", "estimate_baseline",
+    "CostEstimate", "DiskProbe", "Probe", "StaticCosts",
+    "estimate_baseline",
     "estimate_parallel", "execute_plan", "fs_file_sizes", "Decision",
     "OptimizerConfig", "ResourceAwareOptimizer", "Plan", "baseline_plan",
     "find_parallel_run", "parallelize", "AotEvent", "PashConfig",

@@ -68,10 +68,62 @@ class Probe:
     #: when JashConfig.profile_feedback is on, so decisions stay
     #: bit-identical with the flag off.
     observed: Optional[object] = None
+    #: S20 static volume/trip bounds (:class:`StaticCosts`) from the
+    #: abstract interpreter's CostCertificates; None ⇒ dynamic probing
+    #: only.  Populated only under JashConfig.static_cost_hints, the
+    #: same ship-dark discipline as ``observed``.
+    static_hints: Optional[object] = None
 
     @property
     def input_lines(self) -> float:
         return max(1.0, self.input_bytes / max(1.0, self.avg_line_bytes))
+
+
+class StaticCosts:
+    """The static complement of the metrics plane's ObservedCosts: per-
+    region volume and trip-count bounds from the S20 abstract
+    interpreter's signed CostCertificates (repro.analysis.absint),
+    keyed by unparsed region text so a consumer needs no AST identity.
+
+    ObservedCosts answers "what did this command cost last time it
+    ran"; StaticCosts answers "how much data *can* this region see,
+    proven before anything runs".  The analysis benchmark compares the
+    two on constant-bound workloads (static within 2× of observed)."""
+
+    def __init__(self, certs: Optional[dict] = None):
+        #: node_text -> CostCertificate (verified on insert)
+        self.certs: dict = certs or {}
+
+    @staticmethod
+    def from_analysis(result) -> "StaticCosts":
+        """Build from an AnalysisResult (or AbsintResult) — tampered
+        certificates (signature mismatch) are dropped."""
+        absint = getattr(result, "absint", result)
+        out = StaticCosts()
+        for cert in getattr(absint, "cost_list", ()) or ():
+            if cert.verify():
+                out.certs[cert.node_text] = cert
+        return out
+
+    def input_bytes(self, node_text: str) -> Optional[int]:
+        """Upper volume bound for the region, or None (unbounded or
+        uncertified)."""
+        cert = self.certs.get(node_text)
+        return cert.bytes_hi if cert is not None else None
+
+    def trip_bounds(self, node_text: str) -> Optional[tuple]:
+        """(lo, hi) loop trip-count bounds; hi None ⇒ unbounded."""
+        cert = self.certs.get(node_text)
+        return (cert.trip_lo, cert.trip_hi) if cert is not None else None
+
+    def stage_bytes(self, node_text: str) -> tuple:
+        """Per-stage byte hints ((bytes entering each stage)), possibly
+        empty."""
+        cert = self.certs.get(node_text)
+        return cert.stage_bytes if cert is not None else ()
+
+    def __len__(self) -> int:
+        return len(self.certs)
 
 
 def disk_time(nbytes: float, streams: int, disk: DiskProbe,

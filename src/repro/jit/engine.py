@@ -93,6 +93,19 @@ class JashConfig:
     #: with no registry installed — every decision is bit-identical to
     #: the estimate-only engine (test-enforced).
     profile_feedback: bool = False
+    #: run the S20 abstract interpreter (repro.analysis.absint) inside
+    #: ``compile_program``: dead regions get no certificate (they never
+    #: run; a wrong fact just means a cert miss and the identical
+    #: runtime decision) and loops/regions gain CostCertificates.
+    #: Decisions are bit-identical on or off when no dead code exists
+    #: (test-enforced, the same discipline as ``static_analysis``).
+    value_flow: bool = True
+    #: consult static CostCertificate volume bounds (the analyzer must
+    #: have seen the filesystem) as the cost model's input-size fallback
+    #: when a region's input is not file-backed.  Off by default: any
+    #: flag that can change a decision ships dark, like
+    #: ``profile_feedback``.
+    static_cost_hints: bool = False
 
 
 class JashOptimizer:
@@ -107,18 +120,26 @@ class JashOptimizer:
         #: AST node identity, filled by :meth:`compile_program`
         self._analysis = None
         self._certs: dict[int, object] = {}
+        #: S20 facts from compile_program: provably-dead node ids and
+        #: quantitative CostCertificates, keyed like the safety certs
+        self._dead: set[int] = set()
+        self._cost_certs: dict[int, object] = {}
         self._programs: list = []  # keep analyzed ASTs alive (id-keyed certs)
         self.cert_hits = 0
         self.cert_misses = 0
 
     # -- the compile-once pass ------------------------------------------------
 
-    def compile_program(self, program: Command, tracer=None, now: float = 0.0):
+    def compile_program(self, program: Command, tracer=None, now: float = 0.0,
+                        metrics=None, fs=None, cwd: str = "/"):
         """Run the S16 whole-script analyzer and cache its certificates.
 
         Called by :class:`repro.shell.Shell` before execution (the same
         hook the AOT compiler uses).  With ``static_analysis=False``
         this is a no-op and the engine behaves exactly as the pure JIT.
+        ``metrics``/``fs`` are optional: a metrics registry receives the
+        ``analysis.absint.*`` counters, and a filesystem snapshot
+        grounds the S20 volume domain.
         """
         if not self.config.static_analysis:
             return
@@ -127,13 +148,30 @@ class JashOptimizer:
         result = analyze_program(
             program, self.config.library,
             allow_pure_cmdsub=self.config.allow_pure_cmdsub,
-            pure_commands=self._pure_commands)
+            pure_commands=self._pure_commands,
+            value_flow=self.config.value_flow, fs=fs, cwd=cwd)
         self._analysis = result
         self._certs.update(result.certificates)
+        if result.absint is not None:
+            self._dead |= result.absint.dead
+            self._cost_certs.update(result.absint.cost_certificates)
         self._programs.append(program)
         if tracer is not None:
             tracer.instant("analysis", "analysis.run", now,
                            **result.stats())
+            if result.absint is not None:
+                tracer.span("analysis", "analysis.absint", now, now,
+                            **result.absint.stats())
+        if metrics is not None and result.absint is not None:
+            stats = result.absint.stats()
+            metrics.counter("analysis.absint.nodes").inc(
+                stats["absint_nodes"])
+            metrics.counter("analysis.absint.widenings").inc(
+                stats["absint_widenings"])
+            metrics.counter("analysis.absint.dead_branches").inc(
+                stats["dead_branches"])
+            metrics.counter("analysis.absint.certs").inc(
+                stats["cost_certs"])
 
     # -- the hook -------------------------------------------------------------
 
@@ -183,6 +221,24 @@ class JashOptimizer:
                                           self._pure_commands)
             if impure_reason is not None:
                 self._skip(text, f"unsafe early expansion: {impure_reason}",
+                           tracer=tracer, proc=proc)
+                return None
+
+        # S20 static volume hint: when the abstract interpreter bounded
+        # this region's input volume below the optimization threshold,
+        # the dynamic probe can only confirm what is already known —
+        # skip before paying for expansion.  Gated behind
+        # static_cost_hints because the bound comes from the
+        # compile-time filesystem snapshot and can go stale.
+        if self.config.static_cost_hints:
+            ccert = self._cost_certs.get(id(node))
+            if (ccert is not None and ccert.verify()
+                    and ccert.bytes_hi is not None
+                    and ccert.bytes_hi < self.config.optimizer.min_input_bytes):
+                self._skip(text,
+                           f"static volume bound {ccert.bytes_hi}B below "
+                           f"optimization threshold "
+                           f"[cost certificate {ccert.digest}]",
                            tracer=tracer, proc=proc)
                 return None
 

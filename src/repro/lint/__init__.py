@@ -2,6 +2,7 @@
 detection, spec-driven command explanation, and the shell tutor."""
 
 from . import semantic  # noqa: F401  (registers the analysis-backed checks)
+from . import valueflow  # noqa: F401  (registers the S20 absint checks)
 from .checks import Diagnostic, lint
 from .explain import CHECK_EXPLANATIONS, explain, explain_check, explain_command
 from .misuse import Finding, MisuseConfig, MisuseGuard

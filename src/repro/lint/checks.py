@@ -41,10 +41,14 @@ class Diagnostic:
     context: str = ""
     #: the AST node the diagnostic is anchored to (position sorting)
     node: object = None
+    #: 1-based source position, resolved by lint(); 0 when unanchorable
+    line: int = 0
+    col: int = 0
 
     def __str__(self) -> str:
         ctx = f" [{self.context}]" if self.context else ""
-        return f"{self.code} {self.severity}: {self.message}{ctx}"
+        where = f"{self.line}:{self.col}: " if self.line else ""
+        return f"{where}{self.code} {self.severity}: {self.message}{ctx}"
 
 
 def _word_has_unquoted_param(word: Word) -> Optional[str]:
@@ -348,16 +352,40 @@ def check_unchecked_failure(program: Command) -> Iterator[Diagnostic]:
             break  # one diagnostic per pipeline
 
 
+def resolve_positions(program: Command,
+                      positions: dict[int, tuple[int, int]]) -> dict:
+    """Extend the parser's statement-level (line, col) table to every
+    descendant: a node inherits its innermost recorded ancestor (walk
+    order visits parents first, so inner entries overwrite outer)."""
+    resolved: dict[int, tuple[int, int]] = {}
+    for node in walk(program):
+        where = positions.get(id(node))
+        if where is None:
+            continue
+        for sub in walk(node):
+            resolved[id(sub)] = where
+        resolved[id(node)] = where
+    return resolved
+
+
 def lint(source: str) -> list[Diagnostic]:
     """Run every registered check over a script.
 
     The order is deterministic across runs and interpreter processes
     (hash randomization cannot reorder it): severity first, then the
-    anchor node's position in the AST walk, then code and message."""
-    program = parse(source)
+    anchor node's source position (line, col — falling back to the AST
+    walk index for unanchored nodes), then code and message.  Every
+    diagnostic gets ``line``/``col`` filled in from the parser's
+    position side-table."""
+    from ..parser import parse_with_positions
+
+    program, positions = parse_with_positions(source)
+    resolved = resolve_positions(program, positions)
     diagnostics: list[Diagnostic] = []
     for fn in DIAGNOSTIC_CHECKS:
         diagnostics.extend(fn(program))
+    for d in diagnostics:
+        d.line, d.col = resolved.get(id(d.node), (0, 0))
     severity_rank = {"error": 0, "warning": 1, "info": 2}
     position = {id(node): i for i, node in enumerate(walk(program))}
     unanchored = len(position)

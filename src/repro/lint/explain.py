@@ -57,6 +57,61 @@ CHECK_EXPLANATIONS = {
         "between the job and the dependent statement so the file is "
         "sealed before it is consumed."
     ),
+    "JS4001": (
+        "JS4001 unreachable statement.  The abstract interpreter "
+        "(repro.analysis.absint) follows every control path: a "
+        "statement after an unconditional `exit`/`return`/`break` — or "
+        "after a provably infinite loop — can never execute.  Either "
+        "the dead code is leftovers to delete, or the early exit above "
+        "it is the bug.  The optimizers use the same fact to skip "
+        "compiling the region at all."
+    ),
+    "JS4002": (
+        "JS4002 constant guard.  The interpreter's exit-status domain "
+        "proved this `if`/`while` condition always succeeds (or always "
+        "fails): `true`, `false`, `:`, and `test`/`[ ]` over constant "
+        "values all have statically-known statuses, and constant "
+        "propagation through assignments and $((...)) extends the reach. "
+        "One branch of the conditional is dead — usually a sign the "
+        "guard tests the wrong variable or a stale constant."
+    ),
+    "JS4003": (
+        "JS4003 infinite loop.  The loop guard is constant-true (e.g. "
+        "`while :`) and the body provably contains no `break`, `exit`, "
+        "or `return` on any path — including inlined function calls — "
+        "while `set -e` is off, so nothing can ever leave the loop. "
+        "Statements after it are unreachable (JS4001).  Add a `break` "
+        "condition or a bounded guard.  Bodies containing `kill`, "
+        "`exec`, `trap`, `eval`, or `.` are given the benefit of the "
+        "doubt and not flagged."
+    ),
+    "JS4004": (
+        "JS4004 provably-unset read under set -u.  With `set -u` "
+        "(nounset) in effect, expanding an unset variable aborts the "
+        "shell.  The interpreter tracks variable values along every "
+        "path: this read sees a variable that is explicitly `unset`, or "
+        "one the script defines only *after* this point on every path. "
+        "Variables never assigned anywhere in the script are assumed "
+        "to come from the environment and stay silent.  This is the "
+        "must-analysis sibling of JS3001's may-analysis."
+    ),
+    "JS4005": (
+        "JS4005 dead and-or arm.  The left side of this `&&`/`||` has "
+        "a constant exit status that short-circuits the operator: "
+        "`false && cmd` never runs cmd, `true || cmd` never runs cmd. "
+        "The right-hand side is dead code — commonly a debugging "
+        "leftover (`false && slow_check`) or a confusion of `&&` with "
+        "`;`."
+    ),
+    "JS4006": (
+        "JS4006 empty loop word list.  The cardinality domain computed "
+        "this `for` loop's word list statically: a constant-empty "
+        "expansion (e.g. `$(seq 5 1)`, an empty variable) means the "
+        "body never runs, and a glob with no match means POSIX keeps "
+        "the pattern *literally* — the body runs once with e.g. "
+        "`*.txt` as the value, which is almost never intended.  Guard "
+        "with `[ -e \"$f\" ] || continue` or fix the range."
+    ),
 }
 
 

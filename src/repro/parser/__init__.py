@@ -34,7 +34,8 @@ from .ast_nodes import (
     Word,
     walk,
 )
-from .grammar import Parser, parse, parse_one, split_assignment, word_literal
+from .grammar import (Parser, parse, parse_one, parse_with_positions,
+                      split_assignment, word_literal)
 from .lexer import Lexer, ShellSyntaxError, is_name
 from .unparse import unparse, unparse_word
 
@@ -43,6 +44,7 @@ __all__ = [
     "CmdSub", "Command", "CommandList", "DoubleQuoted", "Escaped", "For",
     "FuncDef", "If", "Lit", "ListItem", "Param", "Pipeline", "Redirect",
     "SimpleCommand", "SingleQuoted", "Subshell", "While", "Word", "walk",
-    "Parser", "parse", "parse_one", "split_assignment", "word_literal",
+    "Parser", "parse", "parse_one", "parse_with_positions",
+    "split_assignment", "word_literal",
     "Lexer", "ShellSyntaxError", "is_name", "unparse", "unparse_word",
 ]

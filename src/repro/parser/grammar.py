@@ -76,10 +76,21 @@ class Parser:
     """One-pass recursive-descent parser; not reusable across inputs."""
 
     def __init__(self, src: str, offset: int = 0):
+        self.src = src
+        #: id(node) -> (line, col), 1-based, for statement-level nodes.
+        #: A side-table: the frozen AST nodes stay position-free so value
+        #: equality and unparse round-trips are unaffected.
+        self.positions: dict[int, tuple[int, int]] = {}
         self.lexer = Lexer(src, parse_command=_parse_substitution)
         self.lexer.pos = 0
         if offset:
             self.lexer._advance(offset)
+
+    def _mark(self, node: Command, tok: Token) -> Command:
+        if id(node) not in self.positions:
+            nl = self.src.rfind("\n", 0, tok.pos)
+            self.positions[id(node)] = (tok.line, tok.pos - nl)
+        return node
 
     # -- token helpers --------------------------------------------------------
 
@@ -197,15 +208,17 @@ class Parser:
         return items
 
     def _parse_and_or(self) -> Command:
+        start = self._peek()
         left = self._parse_pipeline()
         while self._at_op("&&", "||"):
             op = self._next().value
             self._linebreak()
             right = self._parse_pipeline()
-            left = AndOr(left, op, right)
+            left = self._mark(AndOr(left, op, right), start)
         return left
 
     def _parse_pipeline(self) -> Command:
+        start = self._peek()
         negated = False
         if self._at_keyword("!"):
             self._next()
@@ -217,11 +230,15 @@ class Parser:
             commands.append(self._parse_command())
         if len(commands) == 1 and not negated:
             return commands[0]
-        return Pipeline(tuple(commands), negated=negated)
+        return self._mark(Pipeline(tuple(commands), negated=negated), start)
 
     # -- commands --------------------------------------------------------------
 
     def _parse_command(self) -> Command:
+        start = self._peek()
+        return self._mark(self._parse_command_inner(), start)
+
+    def _parse_command_inner(self) -> Command:
         tok = self._peek()
         if tok.kind == "OP" and tok.value == "(":
             return self._parse_subshell()
@@ -556,6 +573,16 @@ def _parse_substitution(src: str, offset: int, close_op: Optional[str]):
 def parse(src: str) -> CommandList:
     """Parse a complete shell program into a :class:`CommandList`."""
     return Parser(src).parse_program()
+
+
+def parse_with_positions(src: str):
+    """Parse and also return the (line, col) side-table for statement
+    nodes — the anchor source for ``jash check`` diagnostics.  Nodes
+    inside ``$(...)`` bodies are parsed by nested parsers and carry no
+    entry; consumers fall back to the innermost recorded ancestor."""
+    parser = Parser(src)
+    program = parser.parse_program()
+    return program, parser.positions
 
 
 def parse_one(src: str) -> Command:

@@ -105,7 +105,9 @@ class Shell:
             # compile-once engines (PaSh AOT, Jash static analysis)
             # preprocess the script before it runs
             self.optimizer.compile_program(program, tracer=self.kernel.tracer,
-                                           now=self.kernel.now)
+                                           now=self.kernel.now,
+                                           metrics=self.kernel.metrics,
+                                           fs=self.fs)
         if self.persist_state and self._state is not None:
             state = self._state
             if args is not None:

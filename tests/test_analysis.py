@@ -153,6 +153,47 @@ class TestEnvFlow:
         assert self.names("echo ${v:-d} ${w:=5} ${u:+x}\nv=1\nw=1\nu=1") \
             == set()
 
+    def test_nested_loop_break_still_carries_defs(self):
+        # the break leaves the inner loop but the definition of `hit`
+        # made before it must still reach the read after both loops
+        src = ("for i in a b; do\n"
+               "  while true; do hit=$i; break; done\n"
+               "done\n"
+               "echo $hit")
+        assert self.names(src) == set()
+
+    def test_nested_loop_continue_backedge(self):
+        # `continue` re-enters the loop head: the body definition must
+        # flow around the back edge to the guard on the next iteration
+        src = ("for i in a b c; do\n"
+               "  test $i = b && continue\n"
+               "  while test $seen; do seen=; done\n"
+               "  seen=$i\n"
+               "done")
+        assert self.names(src) == set()
+
+    def test_subshell_redefinition_does_not_escape_loop(self):
+        # the only assignment to `v` happens inside a subshell body —
+        # even when the subshell sits in a loop, the definition dies
+        # with the subshell and the read after the loop is unreached
+        src = ("for i in a b; do (v=$i); done\n"
+               "echo $v")
+        assert self.names(src) == {"v"}
+
+    def test_for_over_empty_word_list_zero_trips(self):
+        # a `for` with no words runs zero times: the loop-variable
+        # definition must not be treated as reaching the read (but the
+        # fixpoint must also not crash on the empty word list)
+        src = "for f in; do echo $f; done\necho done"
+        assert self.names(src) == set()  # f never read outside the body
+
+    def test_for_over_empty_expansion_body_def_not_guaranteed(self):
+        # definitions made only inside a possibly-zero-trip loop still
+        # count as *may*-reaching (JS3001 is a may-analysis: it only
+        # fires when NO definition can reach)
+        src = "for f in $EMPTY; do v=1; done\necho $v"
+        assert self.names(src) == set()
+
 
 class TestRaceDetection:
     def kinds(self, src):

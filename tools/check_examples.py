@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
-"""CI gate: run ``jash check --format json`` over every ``examples/*.sh``
-script and fail on *new* error-severity diagnostics.
+"""CI gate: run the whole-script analyzer + lint over every
+``examples/*.sh`` script AND every ``tests/corpus/`` script, and fail
+on any diagnostic not fingerprinted in ``tools/check_baseline.json``.
 
-Known errors (the intentionally-racy negative examples) are pinned in
-``tools/check_baseline.json``; run with ``--update`` after deliberately
-changing an example to regenerate it.
+A fingerprint is ``line:col:code`` — position-pinned so a diagnostic
+*moving* (a refactor shifting what the analyzer sees) is surfaced, not
+just a new code appearing.  All severities are fingerprinted: the S20
+value-flow warnings (JS4xxx) are part of the contract, not just the
+error-severity races.  The baseline is written with sorted keys and
+sorted fingerprints, so it is byte-stable under any PYTHONHASHSEED.
+
+Known diagnostics (the intentionally-buggy negative examples such as
+``racy.sh`` and ``deadcode.sh``) are pinned in the baseline; run with
+``--update`` after deliberately changing a script to regenerate it.
 
 Usage::
 
-    python tools/check_examples.py           # gate (exit 1 on new errors)
+    python tools/check_examples.py           # gate (exit 1 on new diagnostics)
     python tools/check_examples.py --update  # rewrite the baseline
 """
 
@@ -25,22 +33,28 @@ BASELINE = REPO / "tools" / "check_baseline.json"
 sys.path.insert(0, str(REPO / "src"))
 
 
+def scripts() -> list[Path]:
+    out = sorted((REPO / "examples").glob("*.sh"))
+    out += sorted((REPO / "tests" / "corpus").rglob("*.sh"))
+    if not out:
+        raise SystemExit("no example or corpus scripts found")
+    return out
+
+
 def collect() -> dict[str, list[str]]:
-    """Per-example sorted list of error-severity diagnostic codes."""
+    """Per-script sorted fingerprints (``line:col:code``) of every
+    diagnostic, all severities."""
     from repro.analysis import analyze_program
     from repro.lint import lint
     from repro.parser import parse
 
     out: dict[str, list[str]] = {}
-    scripts = sorted((REPO / "examples").glob("*.sh"))
-    if not scripts:
-        raise SystemExit("no examples/*.sh scripts found")
-    for script in scripts:
+    for script in scripts():
         text = script.read_text()
-        # the analyzer must at least complete on every example
+        # the analyzer must at least complete on every script
         analyze_program(parse(text))
-        errors = sorted(d.code for d in lint(text) if d.severity == "error")
-        out[script.name] = errors
+        prints = sorted(f"{d.line}:{d.col}:{d.code}" for d in lint(text))
+        out[str(script.relative_to(REPO))] = prints
     return out
 
 
@@ -59,20 +73,20 @@ def main() -> int:
 
     baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
     failures = []
-    for name, errors in current.items():
-        known = baseline.get(name, [])
-        new = [code for code in errors if code not in known]
+    for name, prints in current.items():
+        known = set(baseline.get(name, []))
+        new = [p for p in prints if p not in known]
         if new:
             failures.append((name, new))
     for name, new in failures:
-        print(f"FAIL {name}: new error diagnostics {new} "
+        print(f"FAIL {name}: unfingerprinted diagnostics {new} "
               f"(baseline: {baseline.get(name, [])})")
     if failures:
-        print("re-run with --update only if the errors are intentional")
+        print("re-run with --update only if the diagnostics are intentional")
         return 1
-    total = sum(len(e) for e in current.values())
-    print(f"ok: {len(current)} example scripts checked, "
-          f"{total} known error(s), 0 new")
+    total = sum(len(p) for p in current.values())
+    print(f"ok: {len(current)} scripts checked, "
+          f"{total} fingerprinted diagnostic(s), 0 new")
     return 0
 
 
