@@ -179,6 +179,11 @@ def _main(argv=None) -> int:
                         help="rewrite the baseline with this campaign's divergences")
     diff_p.add_argument("--show", type=int, default=10, metavar="N",
                         help="print at most N divergences (default 10)")
+    diff_p.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay checked-in session traces from DIR "
+                             "instead of generating scripts")
+    diff_p.add_argument("--report", default=None, metavar="FILE",
+                        help="write a JSON divergence report (CI artifact)")
 
     args = parser.parse_args(argv)
 
@@ -412,6 +417,9 @@ def _difftest(args) -> int:
             print(name)
         return 0
 
+    if args.replay:
+        return _difftest_replay(args)
+
     if dt_runner.HOST_SH is None and args.shell is None:
         print("difftest: no host /bin/sh available; nothing to compare against",
               file=sys.stderr)
@@ -462,6 +470,12 @@ def _difftest(args) -> int:
             path = dt.write_entry(entry)
             print(f"difftest: saved {path}")
 
+    if args.report:
+        _write_difftest_report(
+            args.report, result,
+            mode="grammar", profile=args.grammar_profile, seed=args.seed,
+            new=new, known=known)
+
     if args.update_baseline:
         path = dt.save_baseline(divergences, baseline_path)
         print(f"difftest: baseline updated -> {path}")
@@ -469,6 +483,118 @@ def _difftest(args) -> int:
 
     if new:
         print(f"difftest: {len(new)} NEW divergence(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _write_difftest_report(path, result, *, mode, new, known,
+                           profile=None, seed=None) -> None:
+    """JSON divergence report for CI artifact upload."""
+    import json
+
+    from . import difftest as dt
+
+    def _div(d):
+        return {
+            "ident": d.case.ident,
+            "fingerprint": dt.fingerprint(d.case),
+            "reason": d.reason,
+            "script": d.case.script,
+            "files": {name: data.decode("latin-1")
+                      for name, data in sorted(d.case.files.items())},
+            "virtual": {"status": d.virtual.status,
+                        "stdout": d.virtual.stdout.decode("latin-1"),
+                        "error": d.virtual.error},
+            "host": {"status": d.host.status,
+                     "stdout": d.host.stdout.decode("latin-1"),
+                     "error": d.host.error},
+        }
+
+    payload = {
+        "mode": mode,
+        "profile": profile,
+        "seed": seed,
+        "total": result.total,
+        "agreed": result.agreed,
+        "new": [_div(d) for d in new],
+        "known": [_div(d) for d in known],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"difftest: report written -> {path}")
+
+
+def _difftest_replay(args) -> int:
+    """``jash difftest --replay DIR``: replay checked-in session traces.
+    With a host shell: the full virtual-vs-host comparison.  Without one:
+    verify the virtual shell against each trace's recorded expectations."""
+    from pathlib import Path
+
+    from . import difftest as dt
+    from .difftest import runner as dt_runner
+
+    directory = Path(args.replay)
+    traces = dt.load_sessions(directory)
+    if not traces:
+        print(f"difftest: no *.session traces under {directory}",
+              file=sys.stderr)
+        return 1
+
+    if dt_runner.HOST_SH is None and args.shell is None:
+        # host-less box: fall back to the recorded expectations
+        failures = []
+        for trace in traces:
+            reason = dt.verify_recorded(trace)
+            if reason is not None:
+                failures.append((trace, reason))
+        print(f"difftest: replayed {len(traces)} session(s) against "
+              f"recordings, {len(failures)} mismatch(es)")
+        for trace, reason in failures[:args.show]:
+            print(f"--- session-{trace.name}: {reason}")
+        return 1 if failures else 0
+
+    result = dt.run_replay(traces, sh=args.shell)
+    print(f"difftest: {result.agreed}/{result.total} session(s) agreed "
+          f"(dir={directory})")
+
+    divergences = result.divergences
+    if args.minimize and divergences:
+        by_name = {f"session-{t.name}": t for t in traces}
+        minimized = []
+        for d in divergences:
+            trace = by_name.get(d.case.ident)
+            if trace is None:
+                minimized.append(d)
+                continue
+            reduced = dt.minimize_session(trace, sh=args.shell)
+            case = dt.session_case(reduced)
+            minimized.append(dt.run_case(case, sh=args.shell) or d)
+        divergences = minimized
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    baseline = dt.load_baseline(baseline_path) if args.baseline else {}
+    new, known = (dt.split_new(divergences, baseline)
+                  if baseline else (divergences, []))
+    if known:
+        print(f"difftest: {len(known)} known divergence(s) in baseline")
+
+    for d in new[:args.show]:
+        print(f"--- {d.case.ident} [{dt.fingerprint(d.case)}]: {d.reason}")
+        print(d.case.script)
+        print(f"  virtual: status={d.virtual.status} "
+              f"stdout={d.virtual.stdout[:120]!r}")
+        print(f"  host:    status={d.host.status} "
+              f"stdout={d.host.stdout[:120]!r}")
+    if len(new) > args.show:
+        print(f"... and {len(new) - args.show} more")
+
+    if args.report:
+        _write_difftest_report(args.report, result, mode="replay",
+                               new=new, known=known)
+
+    if new:
+        print(f"difftest: {len(new)} NEW session divergence(s)",
+              file=sys.stderr)
         return 1
     return 0
 

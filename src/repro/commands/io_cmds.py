@@ -80,13 +80,15 @@ def tee(proc: Process, argv: list[str]):
     return 0
 
 
-def _parse_count(opts: dict, default_lines: int = 10) -> tuple[str, int, bool]:
+def _parse_count(opts: dict, default_lines: int = 10) -> tuple[str, int, bool, bool]:
     """head/tail count parsing: -n N, -c N, historic -N.
 
-    Returns (unit, count, from_start).  ``tail -n +K`` / ``tail -c +K``
-    set from_start: output begins at line/byte K (so ``+1`` is the whole
-    input), instead of printing the last K units.  An explicit ``-K`` is
-    the same as ``K``.
+    Returns (unit, count, from_start, from_end).  ``tail -n +K`` /
+    ``tail -c +K`` set from_start: output begins at line/byte K (so
+    ``+1`` is the whole input) instead of printing the last K units.
+    ``head -n -K`` / ``head -c -K`` set from_end: print everything *but*
+    the last K units (GNU extension; tail ignores the flag, where an
+    explicit ``-K`` equals ``K``).
     """
     if "c" in opts:
         raw, unit = str(opts["c"]), "bytes"
@@ -95,17 +97,18 @@ def _parse_count(opts: dict, default_lines: int = 10) -> tuple[str, int, bool]:
     elif "#" in opts:
         raw, unit = str(opts["#"]), "lines"
     else:
-        return "lines", default_lines, False
+        return "lines", default_lines, False, False
     from_start = raw.startswith("+")
+    from_end = raw.startswith("-")
     count = abs(int(raw))
-    return unit, count, from_start
+    return unit, count, from_start, from_end
 
 
 @command("head")
 def head(proc: Process, argv: list[str]):
     try:
         opts, operands = parse_flags(argv, "q", with_value="nc#")
-        unit, count, _ = _parse_count(opts)
+        unit, count, _, from_end = _parse_count(opts)
     except (UsageError, ValueError) as err:
         yield from write_err(proc, f"head: {err}")
         return 2
@@ -113,7 +116,40 @@ def head(proc: Process, argv: list[str]):
     coeff = cpu_coeff("head")
     for path in files:
         fd, needs_close = yield from open_input(proc, path)
-        if unit == "bytes":
+        if from_end and unit == "bytes":
+            # head -c -K: everything but the last K bytes, streamed with a
+            # K-byte holdback buffer (-0 keeps everything)
+            held = b""
+            while True:
+                data = yield from proc.read(fd, CHUNK)
+                if not data:
+                    break
+                yield from proc.cpu(len(data) * coeff)
+                held += data
+                if len(held) > count:
+                    yield from proc.write(1, held[: len(held) - count])
+                    held = held[len(held) - count :]
+        elif from_end:
+            # head -n -K: everything but the last K lines (a final
+            # unterminated line counts as a line), K-line lag buffer
+            stream = LineStream(proc, fd)
+            pending: list[bytes] = []
+            while True:
+                batch = yield from stream.next_batch()
+                if batch is None:
+                    break
+                pending.extend(batch)
+                if count and len(pending) > count:
+                    take = pending[: len(pending) - count]
+                    pending = pending[len(pending) - count :]
+                elif not count:
+                    take, pending = pending, []
+                else:
+                    continue
+                yield from proc.cpu(sum(len(l) for l in take) * coeff)
+                for line in take:
+                    yield from proc.write(1, line)
+        elif unit == "bytes":
             remaining = count
             while remaining > 0:
                 data = yield from proc.read(fd, min(CHUNK, remaining))
@@ -145,7 +181,7 @@ def head(proc: Process, argv: list[str]):
 def tail(proc: Process, argv: list[str]):
     try:
         opts, operands = parse_flags(argv, "q", with_value="nc#")
-        unit, count, from_start = _parse_count(opts)
+        unit, count, from_start, _ = _parse_count(opts)
     except (UsageError, ValueError) as err:
         yield from write_err(proc, f"tail: {err}")
         return 2

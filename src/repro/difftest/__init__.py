@@ -5,21 +5,31 @@ executes each in the virtual shell and host ``/bin/sh`` and compares
 under a minimal normalization policy → :mod:`.reduce` delta-debugs any
 divergence into a small reproducer → :mod:`.corpus` freezes it as a
 replayed-forever regression test → :mod:`.baseline` lets CI fail only
-on *new* divergences.  See DESIGN.md §10.
+on *new* divergences.  :mod:`.replay` complements the synthetic grammar
+with checked-in realistic session traces run through the same
+comparison.  See DESIGN.md §10.
 """
 
 from .baseline import fingerprint, load_baseline, save_baseline, split_new
 from .corpus import CorpusEntry, load_corpus, parse_entry, render_entry, write_entry
 from .grammar import Case, generate_case, generate_cases, profiles
 from .reduce import minimize
+from .replay import (SessionStep, SessionTrace, load_sessions,
+                     minimize_session, parse_session, record_expectations,
+                     render_session, run_replay, session_case,
+                     verify_recorded, write_session)
 from .runner import (CampaignResult, Divergence, Outcome, compare,
                      run_campaign, run_case, run_host, run_virtual,
                      statuses_equivalent)
 
 __all__ = [
     "Case", "CampaignResult", "CorpusEntry", "Divergence", "Outcome",
+    "SessionStep", "SessionTrace",
     "compare", "fingerprint", "generate_case", "generate_cases",
-    "load_baseline", "load_corpus", "minimize", "parse_entry", "profiles",
-    "render_entry", "run_campaign", "run_case", "run_host", "run_virtual",
-    "save_baseline", "split_new", "statuses_equivalent", "write_entry",
+    "load_baseline", "load_corpus", "load_sessions", "minimize",
+    "minimize_session", "parse_entry", "parse_session", "profiles",
+    "record_expectations", "render_entry", "render_session", "run_campaign",
+    "run_case", "run_host", "run_replay", "run_virtual", "save_baseline",
+    "session_case", "split_new", "statuses_equivalent", "verify_recorded",
+    "write_entry", "write_session",
 ]

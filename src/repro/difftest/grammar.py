@@ -34,7 +34,10 @@ class Case:
     files: dict[str, bytes] = field(hash=False)
 
 
-#: statement-kind weights per grammar profile
+#: statement-kind weights per grammar profile.  NOTE: the pre-existing
+#: profiles (default/pipeline/coreutils/expansion/arith/control) must
+#: stay byte-stable — CI campaigns replay them against a fixed baseline —
+#: so new coverage lands as *new* profiles, never as edits to old ones.
 PROFILE_WEIGHTS: dict[str, dict[str, int]] = {
     "default": {"pipeline": 5, "coreutils": 4, "expansion": 3,
                 "arith": 2, "control": 3, "redirect": 2},
@@ -43,6 +46,11 @@ PROFILE_WEIGHTS: dict[str, dict[str, int]] = {
     "expansion": {"expansion": 7, "arith": 2, "control": 1},
     "arith": {"arith": 8, "expansion": 1},
     "control": {"control": 6, "expansion": 2, "arith": 1},
+    # PR 9 growth: job control, here-documents, and the session-style mix
+    "jobs": {"jobs": 6, "func": 2, "pipeline": 2},
+    "heredoc": {"heredoc": 6, "expansion": 2, "pipeline": 2},
+    "replay": {"readloop": 3, "heredoc": 2, "jobs": 2, "func": 2,
+               "caseesac": 2, "pipeline": 2},
 }
 
 
@@ -360,6 +368,173 @@ class _Gen:
         cond = rng.choice(["true", "false"])
         return [f"{cond} && echo AND || echo OR"]
 
+    def stmt_heredoc(self) -> list[str]:
+        """Here-documents: <<, <<- (tab stripping), quoted and unquoted
+        delimiters, expansion inside bodies, and heredocs feeding
+        pipelines or read loops.  $HOME-style env-dependent expansions
+        are deliberately absent (the host runs in a scratch HOME)."""
+        rng = self.rng
+        w, w2 = self.word(), self.word()
+        roll = rng.randint(0, 5)
+        if roll == 0:
+            # unquoted delimiter: parameter + arithmetic expansion active
+            a, b = rng.randint(1, 9), rng.randint(1, 9)
+            return [f"v={w}",
+                    "cat <<EOF",
+                    f"hello ${{v}} and {w2}",
+                    f"sum=$(({a}+{b}))",
+                    "EOF"]
+        if roll == 1:
+            # quoted delimiter: body is literal, $v must NOT expand
+            return [f"v={w}",
+                    "cat <<'EOF'",
+                    f"raw $v `echo x` {w2}",
+                    "EOF"]
+        if roll == 2:
+            # <<- strips leading tabs (including the delimiter line)
+            return [f"v={w}",
+                    "cat <<-EOF",
+                    f"\tindent $v",
+                    f"\t\tdeeper {w2}",
+                    "\tEOF"]
+        if roll == 3:
+            # heredoc feeding a pipeline
+            filt = rng.choice(["tr a-z A-Z", "sort", "wc -l", "rev",
+                               f"grep '{self.letter()}'"])
+            return [f"cat <<EOF | {filt}",
+                    w,
+                    w2,
+                    self.word(),
+                    "EOF"]
+        if roll == 4:
+            # heredoc as loop input
+            return ["while read x; do echo r:$x; done <<EOF",
+                    w,
+                    w2,
+                    "EOF"]
+        # double-quoted delimiter behaves like the single-quoted one
+        return ['cat <<"END"',
+                f"plain $undef {w}",
+                "END"]
+
+    def stmt_jobs(self) -> list[str]:
+        """Background jobs, wait, $!, kill — kept deterministic: output
+        of concurrent jobs goes to distinct files, only long sleeps are
+        killed (so the host never loses the race), and every job is
+        either waited for or killed."""
+        rng = self.rng
+        roll = rng.randint(0, 6)
+        if roll == 0:
+            n = rng.randint(0, 9)
+            return [f"(exit {n}) &", "wait $!", "echo rc=$?"]
+        if roll == 1:
+            n = rng.randint(1, 9)
+            # bare wait reaps everything and always reports 0
+            return [f"(exit {n}) &", "wait", "echo rc=$?"]
+        if roll == 2:
+            out = self._fresh("bg")
+            return [f"{self.pipeline()} > {out} &", "wait",
+                    rng.choice([f"cat {out}", f"wc -l < {out}",
+                                f"sort {out}"])]
+        if roll == 3:
+            sig, status = rng.choice([("", 143), ("-9 ", 137),
+                                      ("-s TERM ", 143)])
+            return ["sleep 5 &", f"kill {sig}$!", "wait $!",
+                    f"echo rc=$?"]
+        if roll == 4:
+            out1, out2 = self._fresh("bg"), self._fresh("bg")
+            return [f"{self.source()} > {out1} &",
+                    f"{self.source()} > {out2} &",
+                    "wait",
+                    f"cat {out1} {out2}"]
+        if roll == 5:
+            n = rng.randint(0, 9)
+            return [f"(exit {n}) &", "p=$!", "wait $p", "echo rc=$?"]
+        # killed-then-waited pid keeps reporting its signal status
+        return ["sleep 5 &", "kill $!", "wait $!", "echo a=$?",
+                "echo b=$?"]
+
+    def stmt_func(self) -> list[str]:
+        """Function definition + call + return, positional shadowing."""
+        rng = self.rng
+        w, w2 = self.word(), self.word()
+        roll = rng.randint(0, 4)
+        if roll == 0:
+            return [f"f() {{ echo fn:$1:$2; }}", f"f {w} {w2}",
+                    "echo rc=$?"]
+        if roll == 1:
+            n = rng.randint(0, 9)
+            return [f"f() {{ return {n}; }}", "f", "echo rc=$?"]
+        if roll == 2:
+            # function args shadow the script positionals, then restore
+            return [f"set -- {w} {w2}",
+                    'g() { echo inner:$#:$1; }',
+                    f"g {self.word()}",
+                    'echo outer:$#:$1']
+        if roll == 3:
+            n = rng.randint(1, 5)
+            return ["count() { echo c:$#; return $#; }",
+                    f"count {' '.join(self.word() for _ in range(n))}",
+                    "echo rc=$?"]
+        return [f"up() {{ echo $1 | tr a-z A-Z; }}", f"up {w.lower()}"]
+
+    def stmt_caseesac(self) -> list[str]:
+        """case/esac: multi-pattern arms, bracket and glob patterns,
+        cases inside loops."""
+        rng = self.rng
+        w = self.word()
+        roll = rng.randint(0, 3)
+        if roll == 0:
+            p1, p2 = rng.sample(_WORDS, 2)
+            return [f"v={w}",
+                    f"case $v in {p1}|{p2}) echo one;; {w}) echo two;; "
+                    "*) echo other;; esac"]
+        if roll == 1:
+            n = rng.randint(0, 99)
+            return [f"case {n} in [0-9]) echo d1;; [0-9][0-9]) echo d2;; "
+                    "*) echo big;; esac"]
+        if roll == 2:
+            items = " ".join(rng.sample(_WORDS, 3))
+            pat = rng.choice(["[a-m]*", "*o*", f"{w[0]}*", "??*"])
+            return [f"for w in {items}; do "
+                    f"case $w in {pat}) echo hit:$w;; *) echo miss:$w;; esac; "
+                    "done"]
+        return [f"v={w}.txt",
+                'case $v in *.txt) echo text;; *.gz) echo zip;; esac']
+
+    def stmt_readloop(self) -> list[str]:
+        """read- and getopts-driven loops — the interactive-script shapes
+        (argument parsing, line-by-line processing) synthetic pipelines
+        miss."""
+        rng = self.rng
+        roll = rng.randint(0, 4)
+        if roll == 0:
+            f = self.words_file()
+            return [f"while read a b; do echo [$a][$b]; done < {f}"]
+        if roll == 1:
+            f = self.nums_file()
+            return [f"while read -r x; do echo n:$x; done < {f}"]
+        if roll == 2:
+            optstring, args = rng.choice([
+                ("ab:", f"-a -b {self.word()}"),
+                ("xy", "-x -y"),
+                ("n:v", f"-n {rng.randint(0, 99)} -v"),
+                ("ab:", "-b"),        # missing argument -> '?' arm
+                ("ab:", f"-a -z {self.word()}"),  # illegal option
+            ])
+            return [f"while getopts {optstring} o {args}; do "
+                    'echo o:$o:$OPTARG; done',
+                    "echo ind=$OPTIND"]
+        if roll == 3:
+            f = self.words_file()
+            return [f"while read x; do "
+                    f"case $x in [A-Z]*) echo U:$x;; *) echo l:$x;; esac; "
+                    f"done < {f}"]
+        f = self.colon_file()
+        return [f"while read line; do "
+                "k=${line%%:*}; echo key:$k; "
+                f"done < {f}"]
+
     KINDS = {
         "pipeline": stmt_pipeline,
         "coreutils": stmt_coreutils,
@@ -367,6 +542,11 @@ class _Gen:
         "arith": stmt_arith,
         "control": stmt_control,
         "redirect": stmt_redirect,
+        "heredoc": stmt_heredoc,
+        "jobs": stmt_jobs,
+        "func": stmt_func,
+        "caseesac": stmt_caseesac,
+        "readloop": stmt_readloop,
     }
 
     def script(self) -> str:

@@ -291,21 +291,206 @@ def read_b(interp, proc, argv):
 
 @regular("wait")
 def wait_b(interp, proc, argv):
-    status = 0
-    if argv:
-        for arg in argv:
-            try:
-                pid = int(arg)
-            except ValueError:
-                continue
-            if pid in interp.jobs:
-                interp.jobs.discard(pid)
-                status = yield from proc.wait(pid)
-    else:
+    yield from proc.cpu(1e-7)
+    if not argv:
+        # XCU: wait with no operands waits for all jobs and returns 0,
+        # regardless of the children's statuses
         for pid in sorted(interp.jobs):
-            status = yield from proc.wait(pid)
+            yield from proc.wait(pid)
         interp.jobs.clear()
+        return 0
+    status = 0
+    for arg in argv:
+        try:
+            pid = int(arg)
+        except ValueError:
+            status = 127
+            continue
+        if pid in interp.jobs:
+            interp.jobs.discard(pid)
+            status = yield from proc.wait(pid)
+        else:
+            # unknown (or already-reaped) pid: 127, like host shells
+            status = 127
     return status
+
+
+#: signal name -> number, the kill(1) subset that matters for scripts
+_SIGNALS = {
+    "HUP": 1, "INT": 2, "QUIT": 3, "ABRT": 6, "KILL": 9, "USR1": 10,
+    "SEGV": 11, "USR2": 12, "PIPE": 13, "ALRM": 14, "TERM": 15,
+}
+_SIGNAL_NAMES = {num: name for name, num in _SIGNALS.items()}
+
+
+def _parse_signal(text: str):
+    text = text.upper()
+    if text.startswith("SIG"):
+        text = text[3:]
+    if text in _SIGNALS:
+        return _SIGNALS[text]
+    try:
+        num = int(text)
+    except ValueError:
+        return None
+    return num if 0 <= num < 128 else None
+
+
+@regular("kill")
+def kill_b(interp, proc, argv):
+    # let already-spawned jobs run first: on a host, fork/exec latency
+    # means a fast-exiting `cmd & kill $!` child is already a zombie by
+    # the time kill fires, while a blocking child (sleep) is still alive.
+    # A short virtual sleep reproduces that race resolution determinately.
+    yield from proc.sleep(1e-4)
+    signum = 15  # SIGTERM
+    pids = []
+    i = 0
+    if argv and argv[0] == "-l":
+        names = " ".join(
+            _SIGNAL_NAMES[n] for n in sorted(_SIGNAL_NAMES)
+        )
+        yield from proc.write(1, names.encode() + b"\n")
+        return 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--":
+            i += 1
+            break
+        if arg == "-s" and i + 1 < len(argv):
+            sig = _parse_signal(argv[i + 1])
+            if sig is None:
+                yield from _err(interp, proc, f"kill: unknown signal {argv[i + 1]}")
+                return 1
+            signum = sig
+            i += 2
+            continue
+        if arg.startswith("-") and len(arg) > 1:
+            sig = _parse_signal(arg[1:])
+            if sig is None:
+                break  # negative pid / unknown flag: treat as operand
+            signum = sig
+            i += 1
+            continue
+        break
+    pids = argv[i:]
+    if not pids:
+        yield from _err(interp, proc, "kill: usage: kill [-s signal] pid ...")
+        return 2
+    status = 0
+    for spid in pids:
+        try:
+            pid = int(spid)
+        except ValueError:
+            yield from _err(interp, proc, f"kill: Illegal number: {spid}")
+            status = 1
+            continue
+        fatal = None if signum == 0 else 128 + signum
+        outcome = yield from proc.kill(pid, fatal)
+        # outcome 2 = victim already exited: that is a successful no-op
+        # while the job is an unreaped zombie (still in the job table),
+        # but ESRCH once the shell has waited on it — host semantics
+        reaped = outcome == 0 or (outcome == 2 and pid not in interp.jobs)
+        if reaped:
+            yield from _err(interp, proc, f"kill: {spid}: No such process")
+            status = 1
+    return status
+
+
+@regular("getopts")
+def getopts_b(interp, proc, argv):
+    yield from proc.cpu(1e-7)
+    state = interp.state
+    if len(argv) < 2:
+        yield from _err(interp, proc, "getopts: usage: getopts optstring name [arg...]")
+        return 2
+    optstring, name = argv[0], argv[1]
+    silent = optstring.startswith(":")
+    opts = optstring[1:] if silent else optstring
+    args = list(argv[2:]) if len(argv) > 2 else list(state.positionals)
+
+    try:
+        optind = int(state.get("OPTIND") or "1")
+    except ValueError:
+        optind = 1
+    cache = getattr(interp, "_getopts_cache", None)
+    # a script assigning OPTIND (e.g. OPTIND=1) restarts the scan
+    pos = cache[1] if cache is not None and cache[0] == optind else 0
+
+    def finish(next_idx: int) -> int:
+        """No more options: name='?', OPTIND points at the first operand."""
+        interp._getopts_cache = None
+        state.set("OPTIND", str(next_idx + 1))
+        state.set(name, "?")
+        state.unset("OPTARG")
+        return 1
+
+    idx = optind - 1  # 0-based token index
+    if pos == 0:
+        if (
+            idx < 0
+            or idx >= len(args)
+            or not args[idx].startswith("-")
+            or args[idx] == "-"
+        ):
+            return finish(max(idx, 0))
+        if args[idx] == "--":
+            return finish(idx + 1)
+        pos = 1
+
+    token = args[idx]
+    ch = token[pos]
+    spec = opts.find(ch)
+    takes_arg = spec >= 0 and spec + 1 < len(opts) and opts[spec + 1] == ":"
+
+    def advance_char() -> None:
+        """Consume one clustered option character."""
+        if pos + 1 < len(token):
+            interp._getopts_cache = (optind, pos + 1)
+        else:
+            state.set("OPTIND", str(optind + 1))
+            interp._getopts_cache = (optind + 1, 0)
+
+    if spec < 0 or ch == ":":
+        state.set(name, "?")
+        if silent:
+            state.set("OPTARG", ch)
+        else:
+            state.unset("OPTARG")
+            yield from _err(interp, proc, f"getopts: illegal option -- {ch}")
+        advance_char()
+        return 0
+
+    if not takes_arg:
+        state.set(name, ch)
+        state.unset("OPTARG")
+        advance_char()
+        return 0
+
+    # option with a required argument: rest-of-token, else the next token
+    if pos + 1 < len(token):
+        state.set(name, ch)
+        state.set("OPTARG", token[pos + 1 :])
+        state.set("OPTIND", str(optind + 1))
+        interp._getopts_cache = (optind + 1, 0)
+        return 0
+    if idx + 1 < len(args):
+        state.set(name, ch)
+        state.set("OPTARG", args[idx + 1])
+        state.set("OPTIND", str(optind + 2))
+        interp._getopts_cache = (optind + 2, 0)
+        return 0
+    # missing argument
+    state.set("OPTIND", str(optind + 1))
+    interp._getopts_cache = (optind + 1, 0)
+    if silent:
+        state.set(name, ":")
+        state.set("OPTARG", ch)
+    else:
+        state.set(name, "?")
+        state.unset("OPTARG")
+        yield from _err(interp, proc, f"getopts: option requires an argument -- {ch}")
+    return 0
 
 
 @regular("umask")

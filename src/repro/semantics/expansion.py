@@ -29,6 +29,7 @@ from . import arith
 from .patterns import (
     EMPTY_MARK,
     QUOTE_MARK,
+    SPLIT_MARK,
     glob_match_names,
     has_glob_chars,
     quote_literal,
@@ -38,6 +39,32 @@ from .state import ShellError
 
 FIELD_BREAK = "\x01"
 EMPTY_QUOTE = EMPTY_MARK  # shared with the pattern matcher
+
+
+def mark_splittable(text: str, ifs: str) -> str:
+    """Tag every unquoted IFS character of an expansion result with
+    SPLIT_MARK.  Field splitting (XCU 2.6.5) applies only to the results
+    of parameter/command/arithmetic expansion — literal text in the word
+    never splits — so marking happens exactly where expansion output is
+    stitched into the word."""
+    if not ifs or not text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c in (QUOTE_MARK, SPLIT_MARK):
+            out.append(c)
+            if i + 1 < n:
+                out.append(text[i + 1])
+            i += 2
+            continue
+        if c in ifs:
+            out.append(SPLIT_MARK)
+        out.append(c)
+        i += 1
+    return "".join(out)
 
 
 class ExpansionError(ShellError):
@@ -64,11 +91,17 @@ def _expand_parts(interp, proc, parts: tuple[WordPart, ...], in_dquotes: bool):
             out.append(inner if inner else EMPTY_QUOTE)
         elif isinstance(part, Param):
             text = yield from _expand_param(interp, proc, part, in_dquotes)
+            if not in_dquotes:
+                text = mark_splittable(text, interp.state.ifs)
             out.append(text)
         elif isinstance(part, CmdSub):
             raw = yield from interp.command_substitution(proc, part.command)
             text = raw.rstrip("\n")
-            out.append(quote_literal(text) if in_dquotes else text)
+            out.append(
+                quote_literal(text)
+                if in_dquotes
+                else mark_splittable(text, interp.state.ifs)
+            )
         elif isinstance(part, ArithSub):
             expr_marked = yield from _expand_parts(interp, proc, part.parts, False)
             expr = strip_quote_marks(expr_marked)
@@ -81,7 +114,11 @@ def _expand_parts(interp, proc, parts: tuple[WordPart, ...], in_dquotes: bool):
             except arith.ArithError as err:
                 raise ExpansionError(f"arithmetic: {err}") from None
             text = str(value)
-            out.append(quote_literal(text) if in_dquotes else text)
+            out.append(
+                quote_literal(text)
+                if in_dquotes
+                else mark_splittable(text, interp.state.ifs)
+            )
         else:
             raise ExpansionError(f"unknown word part {part!r}")
     return "".join(out)
@@ -161,7 +198,9 @@ def _expand_at_star(interp, name: str, op: str, in_dquotes: bool):
         yield  # pragma: no cover - make this a generator
     if in_dquotes:
         if name == "@":
-            pieces = [quote_literal(p) for p in positionals]
+            # empty positionals must survive as empty fields, so record
+            # them as EMPTY_QUOTE rather than a zero-length piece
+            pieces = [quote_literal(p) if p else EMPTY_QUOTE for p in positionals]
             return FIELD_BREAK.join(pieces) if pieces else ""
         sep = (state.ifs[:1]) if state.ifs else ""
         return quote_literal(sep.join(positionals)) if positionals else EMPTY_QUOTE
@@ -184,13 +223,18 @@ def _is_special(name: str) -> bool:
 
 
 def split_fields(marked: str, ifs: str) -> list[str]:
-    """Split a marked string on unquoted IFS characters (XCU 2.6.5)."""
-    ws = "".join(c for c in ifs if c in " \t\n")
-    hard = "".join(c for c in ifs if c not in " \t\n")
+    """Split a marked string into fields (XCU 2.6.5).
+
+    Only SPLIT_MARK-tagged characters (expansion output, see
+    ``mark_splittable``) participate in splitting; literal and quoted
+    text never does.  A run of adjacent tagged IFS characters containing
+    ``h`` non-whitespace ("hard") delimiters separates ``h`` times —
+    whitespace around a hard delimiter merges into it — while an
+    all-whitespace run separates once without forcing an empty field.
+    """
     fields: list[str] = []
     current: list[str] = []
     has_content = False  # current field contains quoted-or-real material
-    pending_hard = False
 
     def end_field(force: bool = False) -> None:
         nonlocal current, has_content
@@ -204,7 +248,9 @@ def split_fields(marked: str, ifs: str) -> list[str]:
     while i < n:
         c = marked[i]
         if c == FIELD_BREAK:
-            end_field(force=True)
+            # "$@" positional boundary: zero-length unquoted positionals
+            # vanish (empty quoted ones arrive as EMPTY_QUOTE pieces)
+            end_field()
             i += 1
             continue
         if c == QUOTE_MARK:
@@ -219,18 +265,27 @@ def split_fields(marked: str, ifs: str) -> list[str]:
             current.append(c)
             i += 1
             continue
-        if ifs and c in ws:
-            end_field()
-            i += 1
-            continue
-        if ifs and c in hard:
-            # a non-whitespace IFS char always terminates a field (possibly
-            # producing an empty one)
-            end_field(force=True)
-            i += 1
-            # consume following IFS whitespace
-            while i < n and marked[i] in ws:
-                i += 1
+        if c == SPLIT_MARK:
+            tagged = marked[i + 1] if i + 1 < n else ""
+            if ifs and tagged in ifs:
+                hards = 0
+                while i < n and marked[i] == SPLIT_MARK:
+                    nxt = marked[i + 1] if i + 1 < n else ""
+                    if nxt not in ifs:
+                        break
+                    if nxt not in " \t\n":
+                        hards += 1
+                    i += 2
+                if hards == 0:
+                    end_field()
+                else:
+                    for _ in range(hards):
+                        end_field(force=True)
+                continue
+            # tagged char no longer in the active IFS: plain content
+            current.append(tagged)
+            has_content = True
+            i += 2
             continue
         current.append(c)
         has_content = True
@@ -323,6 +378,28 @@ def _finalize(marked: str) -> str:
     return strip_quote_marks(marked).replace(EMPTY_QUOTE, "")
 
 
+def _drop_split_marks(marked: str) -> str:
+    """Remove SPLIT_MARK tags while preserving QUOTE_MARK pairs."""
+    if SPLIT_MARK not in marked:
+        return marked
+    out: list[str] = []
+    i = 0
+    n = len(marked)
+    while i < n:
+        c = marked[i]
+        if c == QUOTE_MARK:
+            out.append(c)
+            if i + 1 < n:
+                out.append(marked[i + 1])
+            i += 2
+        elif c == SPLIT_MARK:
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
 # ---------------------------------------------------------------------------
 # tilde expansion
 # ---------------------------------------------------------------------------
@@ -334,8 +411,8 @@ def _tilde_expand(marked: str, state) -> str:
     # up to the first unquoted '/'
     end = 0
     while end < len(marked) and marked[end] != "/":
-        if marked[end] in (QUOTE_MARK, EMPTY_QUOTE):
-            return marked  # quoted char in the tilde-prefix: no expansion
+        if marked[end] in (QUOTE_MARK, EMPTY_QUOTE, SPLIT_MARK):
+            return marked  # quoted/expanded char in the prefix: no expansion
         end += 1
     user = marked[1:end]
     if user == "":
@@ -357,7 +434,8 @@ def expand_word(interp, proc, word: Word, split: bool = True, glob: bool = True)
     if split:
         fields = split_fields(marked, interp.state.ifs)
     else:
-        fields = [marked.replace(FIELD_BREAK, " ")] if marked else []
+        unsplit = _drop_split_marks(marked).replace(FIELD_BREAK, " ")
+        fields = [unsplit] if unsplit else []
     if glob and not interp.state.options.get("noglob"):
         out: list[str] = []
         for field in fields:

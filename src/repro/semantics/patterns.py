@@ -31,6 +31,10 @@ _CLASS_NAMES = {
 QUOTE_MARK = "\x00"
 #: sentinel recording an empty quoted string ('' / ""): matches nothing
 EMPTY_MARK = "\x02"
+#: sentinel prefixing characters produced by an expansion: only these are
+#: candidates for field splitting (XCU 2.6.5 splits expansion results,
+#: never literal text)
+SPLIT_MARK = "\x03"
 
 
 def quote_literal(text: str) -> str:
@@ -48,6 +52,9 @@ def translate(pattern: str) -> str:
         c = pattern[i]
         if c == EMPTY_MARK:
             i += 1  # '' contributes nothing to the pattern
+            continue
+        if c == SPLIT_MARK:
+            i += 1  # the following char stays active (unquoted expansion)
             continue
         if c == QUOTE_MARK:
             i += 1
@@ -111,6 +118,9 @@ def _translate_bracket(pattern: str, start: int) -> tuple[int, str]:
                 return -1, ""
             items.append(cls)
             i = end + 2
+            continue
+        if c == SPLIT_MARK:
+            i += 1
             continue
         if c == QUOTE_MARK and i + 1 < len(pattern):
             items.append(re.escape(pattern[i + 1]))
@@ -200,7 +210,8 @@ def remove_affix(value: str, pattern: str, op: str) -> str:
 
 
 def strip_quote_marks(text: str) -> str:
-    """Quote removal: drop QUOTE_MARK sentinels, keep the characters."""
+    """Quote removal: drop QUOTE_MARK/SPLIT_MARK sentinels, keep the
+    characters they tag."""
     out: list[str] = []
     i = 0
     while i < len(text):
@@ -209,6 +220,8 @@ def strip_quote_marks(text: str) -> str:
             if i < len(text):
                 out.append(text[i])
                 i += 1
+        elif text[i] == SPLIT_MARK:
+            i += 1  # drop the mark; the tagged char is handled normally
         else:
             out.append(text[i])
             i += 1

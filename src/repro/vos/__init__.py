@@ -56,6 +56,7 @@ from .syscalls import (
     CloseReq,
     CpuReq,
     DupReq,
+    KillReq,
     NetSendReq,
     OpenReq,
     ReadReq,
@@ -83,7 +84,7 @@ __all__ = [
     "MachineSpec", "PROFILES", "aws_c5_2xlarge_gp2", "aws_c5_2xlarge_gp3",
     "laptop", "profile", "raspberry_pi", "supercomputer_node",
     "Pipe", "CHUNK", "Process",
-    "CloseReq", "CpuReq", "DupReq", "NetSendReq", "OpenReq", "ReadReq",
-    "ReadVReq", "SleepReq", "SpawnReq", "SpliceReq", "WaitReq", "WriteReq",
-    "WriteVReq",
+    "CloseReq", "CpuReq", "DupReq", "KillReq", "NetSendReq", "OpenReq",
+    "ReadReq", "ReadVReq", "SleepReq", "SpawnReq", "SpliceReq", "WaitReq",
+    "WriteReq", "WriteVReq",
 ]

@@ -57,6 +57,7 @@ from .syscalls import (
     CloseReq,
     CpuReq,
     DupReq,
+    KillReq,
     NetSendReq,
     OpenReq,
     ReadReq,
@@ -366,6 +367,8 @@ class Kernel:
             self._sys_spawn(proc, request)
         elif isinstance(request, WaitReq):
             self._sys_wait(proc, request)
+        elif isinstance(request, KillReq):
+            self._sys_kill(proc, request)
         elif isinstance(request, SleepReq):
             self._timer_seq += 1
             heapq.heappush(
@@ -1003,6 +1006,24 @@ class Kernel:
             if tr is not None:
                 tr.on_wait_begin(self.now, proc, child)
             child.waiters.append(proc)
+
+    def _sys_kill(self, proc: Process, request: KillReq) -> None:
+        """Deliver a fatal signal: the victim exits with request.status
+        (128+signum by convention).  status=None is the signal-0 probe.
+        Resolves 0 = no such pid, 1 = delivered (victim was alive),
+        2 = victim already DONE (the kernel keeps every process record,
+        so the *caller* decides whether that is an unreaped zombie — a
+        successful no-op on a host — or a reaped pid, which is ESRCH)."""
+        victim = self.processes.get(request.pid)
+        if victim is None:
+            self._ready.append((proc, 0, None))
+            return
+        if victim.state == DONE:
+            self._ready.append((proc, 2, None))
+            return
+        if request.status is not None:
+            self.kill_process(victim, request.status)
+        self._ready.append((proc, 1, None))
 
     # network ----------------------------------------------------------------------------------
 

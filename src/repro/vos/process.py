@@ -22,6 +22,7 @@ from .syscalls import (
     CloseReq,
     CpuReq,
     DupReq,
+    KillReq,
     NetSendReq,
     OpenReq,
     ReadReq,
@@ -198,6 +199,13 @@ class Process:
     def wait(self, pid: int):
         status = yield WaitReq(pid)
         return status
+
+    def kill(self, pid: int, status: Optional[int] = None):
+        """Deliver a fatal signal (victim exits with ``status``); None is
+        the signal-0 probe.  Returns 0 (no such pid), 1 (delivered to a
+        live victim), or 2 (victim already exited)."""
+        outcome = yield KillReq(pid, status)
+        return outcome
 
     def sleep(self, seconds: float):
         yield SleepReq(seconds)

@@ -103,6 +103,19 @@ class WaitReq:
 
 
 @dataclass
+class KillReq:
+    """Deliver a fatal signal to ``pid``: the victim exits immediately
+    with ``status`` (conventionally 128+signum).  ``status=None`` is the
+    signal-0 existence probe — nothing is delivered.  Resolves 0 when the
+    pid was never spawned, 1 when the signal was delivered to a live
+    victim, and 2 when the victim had already exited (delivery is a
+    no-op; the caller maps that to zombie-success or reaped-ESRCH)."""
+
+    pid: int
+    status: Optional[int] = None
+
+
+@dataclass
 class SleepReq:
     seconds: float
 
@@ -117,5 +130,6 @@ class NetSendReq:
 
 Syscall = (
     CpuReq, ReadReq, WriteReq, ReadVReq, WriteVReq, SpliceReq,
-    OpenReq, CloseReq, DupReq, SpawnReq, WaitReq, SleepReq, NetSendReq,
+    OpenReq, CloseReq, DupReq, SpawnReq, WaitReq, KillReq, SleepReq,
+    NetSendReq,
 )

@@ -63,6 +63,24 @@ class TestHeadTail:
     def test_head_more_than_available(self, out_of):
         assert out_of("head -n 99 /ten", files=self.FILES).count("\n") == 10
 
+    # head's -K form: everything *but* the last K units (GNU extension
+    # the host coreutils implement; pinned by the S17 difftest work)
+    def test_head_negative_lines(self, out_of):
+        assert out_of("head -n -7 /ten", files=self.FILES) == "0\n1\n2\n"
+
+    def test_head_negative_zero_is_whole_file(self, out_of):
+        assert out_of("head -n -0 /ten", files=self.FILES).count("\n") == 10
+
+    def test_head_negative_more_than_available(self, out_of):
+        assert out_of("head -n -99 /ten", files=self.FILES) == ""
+
+    def test_head_negative_bytes(self, out_of):
+        assert out_of("head -c -16 /ten", files=self.FILES) == "0\n1\n"
+
+    def test_head_negative_unterminated_last_line(self, out_of):
+        files = {"/f": b"a\nb\nc"}
+        assert out_of("head -n -1 /f", files=files) == "a\nb\n"
+
     # tail's +K form: emit *from* unit K, not the last K units
     def test_tail_from_line(self, out_of):
         assert out_of("tail -n +8 /ten", files=self.FILES) == "7\n8\n9\n"

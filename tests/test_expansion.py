@@ -4,7 +4,7 @@ $@/$*, IFS, pathname expansion, tilde — via end-to-end script runs."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.semantics.expansion import split_fields
+from repro.semantics.expansion import mark_splittable, split_fields
 from repro.semantics.patterns import quote_literal
 
 
@@ -210,21 +210,42 @@ class TestTilde:
 
 
 class TestSplitFields:
+    """split_fields splits only SPLIT_MARK-tagged characters — the
+    output of ``mark_splittable`` on expansion results.  Untagged
+    (literal) text must pass through unsplit."""
+
     def test_default_whitespace(self):
-        assert split_fields("a b  c", " \t\n") == ["a", "b", "c"]
+        ifs = " \t\n"
+        marked = mark_splittable("a b  c", ifs)
+        assert split_fields(marked, ifs) == ["a", "b", "c"]
 
     def test_leading_trailing(self):
-        assert split_fields("  a  ", " \t\n") == ["a"]
+        ifs = " \t\n"
+        assert split_fields(mark_splittable("  a  ", ifs), ifs) == ["a"]
 
     def test_hard_delimiters(self):
-        assert split_fields("a::b", ":") == ["a", "", "b"]
+        assert split_fields(mark_splittable("a::b", ":"), ":") == ["a", "", "b"]
 
     def test_trailing_hard_delimiter_no_empty(self):
-        assert split_fields("a:", ":") == ["a"]
+        assert split_fields(mark_splittable("a:", ":"), ":") == ["a"]
+
+    def test_leading_hard_delimiter_empty_field(self):
+        assert split_fields(mark_splittable(":b", ":"), ":") == ["", "b"]
+
+    def test_ws_around_hard_merges(self):
+        ifs = ": "
+        marked = mark_splittable("a : b", ifs)
+        assert split_fields(marked, ifs) == ["a", "b"]
 
     def test_quoted_chars_never_split(self):
         marked = quote_literal("a b")
         assert split_fields(marked, " \t\n") == [marked]
+
+    def test_literal_text_never_splits(self):
+        # untagged literal IFS characters stay in one field (XCU 2.6.5:
+        # only expansion results are subject to field splitting)
+        assert split_fields("a b  c", " \t\n") == ["a b  c"]
+        assert split_fields("a:b", ":") == ["a:b"]
 
 
 @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=4),
@@ -232,6 +253,6 @@ class TestSplitFields:
 @settings(max_examples=200, deadline=None)
 def test_split_roundtrip_on_space_join(fields):
     """Joining non-empty IFS-free fields with single spaces and
-    re-splitting recovers the fields."""
+    re-splitting the marked result recovers the fields."""
     joined = " ".join(fields)
-    assert split_fields(joined, " \t\n") == fields
+    assert split_fields(mark_splittable(joined, " \t\n"), " \t\n") == fields

@@ -323,6 +323,119 @@ class TestAsync:
         assert result.stdout.strip().isdigit()
 
 
+class TestJobControlStatus:
+    # host-verified POSIX semantics pinned by the S17 session-replay work
+
+    def test_bare_wait_is_zero(self, out_of):
+        # XCU: `wait` with no operands always exits 0, regardless of the
+        # jobs' statuses
+        assert out_of("(exit 7) & wait; echo $?") == "0\n"
+
+    def test_wait_pid_reports_job_status(self, out_of):
+        assert out_of("(exit 7) & wait $!; echo $?") == "7\n"
+
+    def test_wait_unknown_pid_is_127(self, out_of):
+        assert out_of("wait 424242; echo $?") == "127\n"
+
+    def test_kill_then_wait_is_143(self, out_of):
+        assert out_of("sleep 1 & kill $!; wait $!; echo $?") == "143\n"
+
+    def test_kill_9_then_wait_is_137(self, out_of):
+        assert out_of("sleep 1 & kill -9 $!; wait $!; echo $?") == "137\n"
+
+    def test_kill_s_term(self, out_of):
+        assert out_of("sleep 1 & kill -s TERM $!; wait $!; echo $?") == "143\n"
+
+    def test_kill_zombie_is_noop_success(self, out_of):
+        # the job exited already but was not waited: kill succeeds and the
+        # recorded status stays visible to wait (host zombie semantics)
+        assert out_of("(exit 7) & kill $!; echo k=$?; wait $!; echo w=$?") \
+            == "k=0\nw=7\n"
+
+    def test_kill_reaped_pid_is_esrch(self, sh_run):
+        # after wait the pid is reaped: signal-0 probe must fail
+        result = sh_run("sleep 5 & pid=$!\nkill $pid\nwait $pid\n"
+                        "kill -0 $pid 2>/dev/null || echo reaped")
+        assert result.stdout == b"reaped\n"
+
+    def test_kill_0_probe_alive(self, out_of):
+        assert out_of("sleep 1 & kill -0 $! && echo alive; kill $!; wait") \
+            == "alive\n"
+
+    def test_kill_unknown_pid_fails(self, sh_run):
+        result = sh_run("kill 999999")
+        assert result.status == 1
+        assert "No such process" in result.err
+
+
+class TestGetopts:
+    def test_basic_flags(self, out_of):
+        script = ('set -- -a -b v rest\n'
+                  'while getopts ab: o; do echo "$o:$OPTARG"; done\n'
+                  'echo "end:$o:$OPTIND"')
+        assert out_of(script) == "a:\nb:v\nend:?:4\n"
+
+    def test_clustered(self, out_of):
+        script = ('set -- -ab v x\n'
+                  'while getopts ab: o; do echo "$o:$OPTARG"; done')
+        assert out_of(script) == "a:\nb:v\n"
+
+    def test_optarg_attached(self, out_of):
+        script = ('set -- -bvalue\n'
+                  'while getopts b: o; do echo "$o:$OPTARG"; done')
+        assert out_of(script) == "b:value\n"
+
+    def test_illegal_option_silent(self, out_of):
+        script = ('set -- -x\n'
+                  'while getopts :ab o; do echo "$o:$OPTARG"; done')
+        assert out_of(script) == "?:x\n"
+
+    def test_missing_arg_silent(self, out_of):
+        script = ('set -- -b\n'
+                  'while getopts :b: o; do echo "$o:$OPTARG"; done')
+        assert out_of(script) == "::b\n"
+
+    def test_optind_reset_between_calls(self, out_of):
+        script = ('p() { OPTIND=1\n'
+                  '  while getopts v o; do echo "got:$o"; done\n'
+                  '  shift $((OPTIND - 1)); echo "rest:$*"; }\n'
+                  'p -v a\n'
+                  'p -v b')
+        assert out_of(script) == "got:v\nrest:a\ngot:v\nrest:b\n"
+
+    def test_no_options_returns_false(self, out_of):
+        script = ('set -- plain\n'
+                  'while getopts ab: o; do echo "$o"; done\n'
+                  'echo "optind:$OPTIND"')
+        assert out_of(script) == "optind:1\n"
+
+
+class TestCustomIFSSplitting:
+    # XCU 2.6.5: field splitting applies to *expansion-produced* text;
+    # literal characters in the script never split
+
+    def test_colon_ifs_splits_expansion(self, out_of):
+        script = ('v=a:b:c\nIFS=:\n'
+                  'for x in $v; do printf "%s\\n" "$x"; done')
+        assert out_of(script) == "a\nb\nc\n"
+
+    def test_set_dashdash_with_ifs(self, out_of):
+        script = ('line="root:x:0"\nIFS=:\nset -- $line\n'
+                  'IFS=" "\necho "$# $1 $3"')
+        assert out_of(script) == "3 root 0\n"
+
+    def test_literal_colon_does_not_split(self, out_of):
+        assert out_of('IFS=:\nfor x in a:b; do echo "$x"; done') == "a:b\n"
+
+    def test_empty_interior_field_kept(self, out_of):
+        script = ('v=a::b\nIFS=:\nset -- $v\necho $#')
+        assert out_of(script) == "3\n"
+
+    def test_cmdsub_splits_on_custom_ifs(self, out_of):
+        script = ('IFS=:\nset -- $(echo x:y)\necho $#')
+        assert out_of(script) == "2\n"
+
+
 class TestMiscSemantics:
     def test_assignment_visible_to_expansion(self, out_of):
         assert out_of("x=1 ; echo $x") == "1\n"

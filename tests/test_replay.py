@@ -1,0 +1,187 @@
+"""Tests for the S17 session-replay module (PR 9): trace format
+round-trip, the shipped session corpus, host-less recorded verification,
+and step-granular minimization."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.difftest import (SessionStep, SessionTrace, load_sessions,
+                            minimize_session, parse_session,
+                            record_expectations, render_session, run_replay,
+                            session_case, verify_recorded, write_session)
+from repro.difftest.replay import SESSIONS_DIR
+from repro.parser import parse
+
+HOST_SH = shutil.which("sh")
+
+needs_host = pytest.mark.skipif(HOST_SH is None,
+                                reason="no host /bin/sh available")
+
+
+def _demo_trace(**overrides):
+    fields = dict(
+        name="demo",
+        description="two steps and a fixture",
+        steps=(SessionStep("greet", "echo hi"),
+               SessionStep("count", "wc -l < f.txt")),
+        files={"f.txt": b"a\nb\n\x00bin\n"},
+        expect_status=0,
+        expect_stdout=b"hi\n3\n",
+    )
+    fields.update(overrides)
+    return SessionTrace(**fields)
+
+
+class TestSessionFormat:
+    def test_round_trip(self):
+        trace = _demo_trace()
+        parsed = parse_session(render_session(trace), name_hint="demo")
+        assert parsed == trace
+
+    def test_round_trip_without_expectations(self):
+        trace = _demo_trace(expect_status=None, expect_stdout=None)
+        parsed = parse_session(render_session(trace), name_hint="demo")
+        assert parsed == trace
+
+    def test_multiline_step_preserved(self):
+        trace = _demo_trace(steps=(
+            SessionStep("heredoc", "cat <<EOF\nbody $x\nEOF"),
+            SessionStep("loop", "while read l; do\n  echo $l\ndone < f.txt"),
+        ))
+        parsed = parse_session(render_session(trace), name_hint="demo")
+        assert parsed.steps == trace.steps
+        # the joined script is exactly the step texts in order
+        assert parsed.script == trace.script
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_session("echo hi\n", name_hint="bad")
+
+    def test_text_before_first_marker_rejected(self):
+        text = "# jash-replay session\n# name: x\necho stray\n--- step: a\necho hi\n"
+        with pytest.raises(ValueError):
+            parse_session(text, name_hint="bad")
+
+    def test_no_steps_rejected(self):
+        with pytest.raises(ValueError):
+            parse_session("# jash-replay session\n# name: x\n",
+                          name_hint="bad")
+
+    def test_write_and_load(self, tmp_path):
+        trace = _demo_trace()
+        path = write_session(trace, tmp_path)
+        assert path.name == "demo.session"
+        loaded = load_sessions(tmp_path)
+        assert loaded == [trace]
+
+    def test_session_case_shape(self):
+        case = session_case(_demo_trace(), index=3)
+        assert case.ident == "session-demo"
+        assert case.profile == "session"
+        assert case.index == 3
+        assert case.script == "echo hi\nwc -l < f.txt"
+        assert case.files == {"f.txt": b"a\nb\n\x00bin\n"}
+
+
+class TestShippedSessions:
+    def test_corpus_is_populated(self):
+        traces = load_sessions()
+        assert len(traces) >= 8
+        names = [t.name for t in traces]
+        assert len(set(names)) == len(names)
+
+    def test_every_trace_has_recorded_expectations(self):
+        for trace in load_sessions():
+            assert trace.expect_status is not None, trace.name
+            assert trace.expect_stdout is not None, trace.name
+
+    def test_every_trace_parses_in_our_shell(self):
+        for trace in load_sessions():
+            parse(trace.script)
+
+    def test_virtual_matches_recordings(self):
+        # the host-less determinism bar: the virtual shell must reproduce
+        # every checked-in recording byte-for-byte
+        for trace in load_sessions():
+            assert verify_recorded(trace) is None, trace.name
+
+    @needs_host
+    def test_replay_agrees_with_host(self):
+        result = run_replay(load_sessions())
+        assert result.ok, [d.case.ident for d in result.divergences]
+
+    def test_sessions_dir_is_checked_in(self):
+        assert SESSIONS_DIR.is_dir()
+        assert sorted(SESSIONS_DIR.glob("*.session"))
+
+
+class TestVerifyRecorded:
+    def test_unrecorded_trace_is_reported(self):
+        trace = _demo_trace(expect_status=None, expect_stdout=None)
+        assert "no recorded expectations" in verify_recorded(trace)
+
+    def test_stdout_mismatch_detected(self):
+        trace = _demo_trace(expect_stdout=b"something else\n")
+        assert verify_recorded(trace) == "stdout differs from recording"
+
+    def test_matching_trace_passes(self):
+        assert verify_recorded(_demo_trace()) is None
+
+
+@needs_host
+class TestRecordExpectations:
+    def test_stamps_host_behaviour(self):
+        trace = _demo_trace(expect_status=None, expect_stdout=None)
+        stamped = record_expectations(trace)
+        assert stamped.expect_status == 0
+        assert stamped.expect_stdout == b"hi\n3\n"
+        # original is untouched (frozen dataclass semantics)
+        assert trace.expect_stdout is None
+
+
+@needs_host
+class TestMinimizeSession:
+    # ``uname`` exists on the host but not in the virtual shell — a
+    # guaranteed divergence independent of any unfixed bug (same trick as
+    # TestReducer in test_difftest.py)
+
+    def _diverging_trace(self):
+        return SessionTrace(
+            name="synthetic",
+            description="one bad step among several good ones",
+            steps=(SessionStep("ok-1", "echo keep1"),
+                   SessionStep("ok-2", "seq 3 | wc -l"),
+                   SessionStep("bad", "cat f1.txt | grep alpha\nuname"),
+                   SessionStep("ok-3", "echo keep2")),
+            files={"f1.txt": b"alpha\nbeta\n"},
+        )
+
+    def test_drops_irrelevant_steps(self):
+        trace = self._diverging_trace()
+        reduced = minimize_session(trace, max_tests=150)
+        assert len(reduced.steps) < len(trace.steps)
+        labels = [s.label for s in reduced.steps]
+        assert "bad" in labels
+
+    def test_never_splits_inside_a_step(self):
+        reduced = minimize_session(self._diverging_trace(), max_tests=150)
+        bad = next(s for s in reduced.steps if s.label == "bad")
+        # the multi-line step survives whole, grep line and all
+        assert bad.text == "cat f1.txt | grep alpha\nuname"
+
+    def test_drops_unused_fixtures(self):
+        trace = SessionTrace(
+            name="fx", description="",
+            steps=(SessionStep("bad", "uname"),),
+            files={"unused.txt": b"z\n"})
+        reduced = minimize_session(trace, max_tests=60)
+        assert reduced.files == {}
+
+    def test_non_divergent_trace_unchanged(self):
+        trace = SessionTrace(
+            name="fine", description="",
+            steps=(SessionStep("a", "echo hi"),), files={})
+        assert minimize_session(trace, max_tests=30) is trace

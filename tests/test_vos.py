@@ -337,6 +337,48 @@ class TestProcessLifecycle:
         assert kernel.run_until_process_done(root) == 137
         assert kernel.now < 1.0
 
+    def test_kill_syscall_outcomes(self):
+        # 0 = never spawned, 1 = delivered to a live victim, 2 = already
+        # DONE (caller decides zombie-no-op vs reaped-ESRCH)
+        kernel = _kernel()
+
+        def victim(proc):
+            yield from proc.sleep(100)
+            return 0
+
+        seen = []
+
+        def main(proc):
+            pid = yield from proc.spawn(victim)
+            seen.append(("live", (yield from proc.kill(pid, 143))))
+            seen.append(("wait", (yield from proc.wait(pid))))
+            seen.append(("done", (yield from proc.kill(pid, 143))))
+            seen.append(("ghost", (yield from proc.kill(999999, 143))))
+            return 0
+
+        root = kernel.create_process(main)
+        kernel.run_until_process_done(root)
+        assert seen == [("live", 1), ("wait", 143), ("done", 2), ("ghost", 0)]
+
+    def test_kill_signal_zero_probe_is_harmless(self):
+        kernel = _kernel()
+
+        def victim(proc):
+            yield from proc.sleep(0.5)
+            return 7
+
+        seen = []
+
+        def main(proc):
+            pid = yield from proc.spawn(victim)
+            seen.append(("probe", (yield from proc.kill(pid, None))))
+            seen.append(("wait", (yield from proc.wait(pid))))
+            return 0
+
+        root = kernel.create_process(main)
+        kernel.run_until_process_done(root)
+        assert seen == [("probe", 1), ("wait", 7)]
+
     def test_deadlock_detected(self):
         kernel = _kernel()
         reader, writer = make_pipe()

@@ -25,6 +25,9 @@ CI_CAMPAIGNS = [
     ("default", 0, 120),
     ("coreutils", 0, 40),
     ("expansion", 0, 40),
+    ("jobs", 0, 40),
+    ("heredoc", 0, 40),
+    ("replay", 0, 40),
 ]
 
 
@@ -38,6 +41,11 @@ def main() -> int:
             return 1
         print(f"{profile}: {result.agreed}/{result.total} agreed")
         divergences.extend(result.divergences)
+
+    from repro.difftest import load_sessions, run_replay
+    result = run_replay(load_sessions())
+    print(f"sessions: {result.agreed}/{result.total} agreed")
+    divergences.extend(result.divergences)
     path = save_baseline(divergences, BASELINE_PATH)
     print(f"wrote {len(divergences)} known divergence(s) -> {path}")
     return 0
