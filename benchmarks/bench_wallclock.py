@@ -106,6 +106,75 @@ def run_suite(n_bytes: int) -> dict[str, dict]:
     return out
 
 
+def run_scaling(n_bytes: int, jobs_levels=(1, 2, 4, 8)) -> dict:
+    """Cores-vs-MB/s curve for the S21 host worker pool (spell pipeline).
+
+    Each level runs the same spell scenario under ``--jobs N`` with the
+    ship-volume gate disarmed (the bench input is below the production
+    4 MiB floor at --smoke sizes).  Output bytes and the virtual clock
+    are asserted identical to the serial run — the pool is an execution
+    detail, never an observable one — so the only thing allowed to move
+    is host MB/s.
+    """
+    import os as _os
+
+    from repro.parallel_host import shutdown_global_pool
+
+    _, script, path, kind = next(s for s in SCENARIOS if s[0] == "spell")
+    data = make_input(kind, n_bytes)
+    saved = _os.environ.get("JASH_POOL_MIN_BYTES")
+    _os.environ["JASH_POOL_MIN_BYTES"] = "0"
+    curve: dict[str, dict] = {}
+    baseline = None
+    try:
+        for jobs in jobs_levels:
+            # best-of-2: single-run wall clocks on shared CI hosts are
+            # noisy enough to swamp the effect being measured
+            wall = float("inf")
+            for _ in range(2):
+                shell = Shell(laptop(), jobs=jobs)
+                shell.fs.write_bytes(path, data)
+                t0 = time.perf_counter()
+                result = shell.run(script)
+                wall = min(wall, time.perf_counter() - t0)
+                assert result.status == 0, (jobs, result.status, result.err)
+            out_bytes = shell.fs.read_bytes("/data/out.txt")
+            coord = shell.host_coord
+            row = {
+                "wall_s": round(wall, 4),
+                "virtual_s": round(result.elapsed, 6),
+                "mbps": round(len(data) / 1e6 / wall, 2),
+                "oracle_hits": coord.stats["oracle_hits"] if coord else 0,
+                "oracle_fallbacks":
+                    coord.stats["oracle_fallbacks"] if coord else 0,
+            }
+            if baseline is None:
+                baseline = (out_bytes, result.elapsed)
+            else:
+                assert out_bytes == baseline[0], \
+                    f"--jobs {jobs} changed output bytes"
+                assert result.elapsed == baseline[1], \
+                    f"--jobs {jobs} changed the virtual clock"
+            curve[str(jobs)] = row
+            print(f"  spell --jobs {jobs}: {row['mbps']:8.2f} MB/s  "
+                  f"(wall {row['wall_s']:.2f} s, "
+                  f"oracle hits {row['oracle_hits']})")
+    finally:
+        shutdown_global_pool()
+        if saved is None:
+            _os.environ.pop("JASH_POOL_MIN_BYTES", None)
+        else:
+            _os.environ["JASH_POOL_MIN_BYTES"] = saved
+    base_mbps = curve[str(jobs_levels[0])]["mbps"]
+    return {
+        "scenario": "spell",
+        "mb": round(len(data) / 1e6, 3),
+        "jobs": curve,
+        "speedup": {j: round(row["mbps"] / base_mbps, 2)
+                    for j, row in curve.items()},
+    }
+
+
 def load_results() -> dict:
     if RESULT_PATH.exists():
         return json.loads(RESULT_PATH.read_text())
@@ -166,6 +235,9 @@ def main(argv=None) -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="with --smoke: rewrite the baseline from this "
                              "run")
+    parser.add_argument("--no-scaling", action="store_true",
+                        help="skip the S21 cores-vs-MB/s curve (full runs "
+                             "only; --smoke never runs it)")
     args = parser.parse_args(argv)
 
     n_bytes = int((4.0 if args.smoke else args.mb) * 1e6)
@@ -199,6 +271,9 @@ def main(argv=None) -> int:
     doc = load_results()
     doc["meta"] = host_metadata()
     doc[args.record] = results
+    if not args.no_scaling:
+        print("scaling curve (spell, worker pool):")
+        doc["scaling"] = run_scaling(n_bytes)
     compute_gains(doc)
     RESULT_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"wrote {RESULT_PATH} ({args.record} section)")

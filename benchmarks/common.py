@@ -49,13 +49,23 @@ def _cpu_model() -> str:
 def host_metadata() -> dict:
     """Host facts recorded alongside wall-clock results so numbers from
     different machines/interpreters are never compared blindly."""
+    from repro.parallel_host.pool import DEFAULT_MIN_SHIP, _env_int
+
     return {
         "cpu": _cpu_model(),
+        "cpu_count": os.cpu_count() or 1,
         "machine": platform.machine(),
         "system": f"{platform.system()} {platform.release()}",
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "hashseed": os.environ.get("PYTHONHASHSEED", "random"),
+        # S21 worker-pool configuration in effect for this run: scaling
+        # numbers mean nothing without the jobs default and ship gate
+        "pool": {
+            "jash_jobs": _env_int("JASH_JOBS", 1),
+            "min_ship_bytes": _env_int("JASH_POOL_MIN_BYTES",
+                                       DEFAULT_MIN_SHIP),
+        },
     }
 
 

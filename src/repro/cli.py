@@ -57,6 +57,10 @@ def _main(argv=None) -> int:
     run_p.add_argument("--no-splice", action="store_true",
                        help="disable the kernel splice fast path (results "
                             "are identical; this exists to prove it)")
+    run_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="host worker processes for certificate-gated "
+                            "regions (default $JASH_JOBS or 1; stdout and "
+                            "virtual times are identical at any N)")
     run_p.add_argument("--supervise", action="store_true",
                        help="run under the crash-consistent supervisor "
                             "(journaled rounds, durable checkpoints, "
@@ -100,6 +104,9 @@ def _main(argv=None) -> int:
                         help="table report or Prometheus text exposition")
     stat_p.add_argument("--metrics", metavar="OUT.json",
                         help="also export the deterministic snapshot")
+    stat_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="host worker processes; adds the pool section "
+                             "to the report when N > 1")
     stat_p.add_argument("--supervise", action="store_true",
                         help="drive the script under the supervisor and "
                              "report across its rounds")
@@ -141,8 +148,13 @@ def _main(argv=None) -> int:
     check_p.add_argument("-c", dest="inline")
     check_p.add_argument("--format", choices=("text", "json"),
                          default="text")
+    check_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="also report S21 pool eligibility (JS2260) "
+                              "as if run with --jobs N")
 
-    explain_p = sub.add_parser("explain", help="explain a pipeline")
+    explain_p = sub.add_parser("explain",
+                               help="explain a pipeline or a JSnnnn "
+                                    "lint code")
     explain_p.add_argument("pipeline")
 
     tutor_p = sub.add_parser("tutor", help="review a script with guidance")
@@ -184,6 +196,10 @@ def _main(argv=None) -> int:
                              "instead of generating scripts")
     diff_p.add_argument("--report", default=None, metavar="FILE",
                         help="write a JSON divergence report (CI artifact)")
+    diff_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run the virtual side under the S21 host pool "
+                             "with N workers (ship gate forced open so tiny "
+                             "corpora still exercise it)")
 
     args = parser.parse_args(argv)
 
@@ -204,11 +220,12 @@ def _main(argv=None) -> int:
 
             tracer = Tracer()
         shell = Shell(machine, optimizer=optimizer, tracer=tracer,
-                      metrics=metrics)
+                      metrics=metrics, jobs=args.jobs)
         for spec in args.file:
             host, _, virt = spec.partition(":")
             with open(host, "rb") as fh:
                 shell.fs.write_bytes(virt or "/" + host, fh.read())
+        _warn_jobs_idle(text, shell)
         result = shell.run(text)
         sys.stdout.write(result.out)
         sys.stderr.write(result.err)
@@ -264,9 +281,14 @@ def _main(argv=None) -> int:
         return _check(args)
 
     if args.cmd == "explain":
-        from .lint import explain
+        import re as _re
 
-        print(explain(args.pipeline))
+        from .lint import explain, explain_check
+
+        if _re.fullmatch(r"JS\d{4}", args.pipeline):
+            print(explain_check(args.pipeline))
+        else:
+            print(explain(args.pipeline))
         return 0
 
     if args.cmd == "tutor":
@@ -297,6 +319,24 @@ def _main(argv=None) -> int:
         return _difftest(args)
 
     return 2
+
+
+def _warn_jobs_idle(text: str, shell) -> None:
+    """JS2260: tell the user when --jobs > 1 cannot do anything."""
+    if shell.host_coord is None:
+        return
+    from .analysis import analyze_program
+    from .lint import check_jobs_eligibility
+    from .parser import parse
+
+    try:
+        program = parse(text)
+        diag = check_jobs_eligibility(
+            program, analyze_program(program, fs=shell.fs), shell.jobs)
+    except Exception:
+        return
+    if diag is not None:
+        print(diag, file=sys.stderr)
 
 
 def _make_metrics(args):
@@ -378,6 +418,7 @@ def _stat(args) -> int:
     text = _script_text(args)
     machine = profile(args.machine)
     metrics = MetricsRegistry(interval=args.interval)
+    shell = None
     if args.supervise:
         status = _supervise(args, text, machine, metrics=metrics,
                             emit_output=False)
@@ -385,11 +426,13 @@ def _stat(args) -> int:
             return status
     else:
         optimizer = make_engine(args.engine)
-        shell = Shell(machine, optimizer=optimizer, metrics=metrics)
+        shell = Shell(machine, optimizer=optimizer, metrics=metrics,
+                      jobs=args.jobs)
         for spec in args.file:
             host, _, virt = spec.partition(":")
             with open(host, "rb") as fh:
                 shell.fs.write_bytes(virt or "/" + host, fh.read())
+        _warn_jobs_idle(text, shell)
         result = shell.run(text)
         sys.stderr.write(result.err)
         print(f"[status {result.status}, virtual time {result.elapsed:.4f}s "
@@ -401,6 +444,13 @@ def _stat(args) -> int:
         sys.stdout.write(render_prometheus(metrics))
     else:
         sys.stdout.write(render_stat(metrics, top=args.top))
+        if shell is not None and shell.host_coord is not None:
+            from .parallel_host import render_pool_stats
+
+            coord = shell.host_coord
+            worker_stats = (coord.pool.worker_stats
+                            if coord.pool is not None else {})
+            sys.stdout.write(render_pool_stats(coord.stats, worker_stats))
     return 0
 
 
@@ -416,6 +466,15 @@ def _difftest(args) -> int:
         for name in dt.profiles():
             print(name)
         return 0
+
+    if args.jobs and args.jobs > 1:
+        # the runner builds its own Shells; the env default reaches them.
+        # Forcing the ship gate open makes tiny generated corpora still
+        # exercise the pool machinery.
+        import os
+
+        os.environ["JASH_JOBS"] = str(args.jobs)
+        os.environ.setdefault("JASH_POOL_MIN_BYTES", "0")
 
     if args.replay:
         return _difftest_replay(args)
@@ -609,8 +668,15 @@ def _check(args) -> int:
     from .parser import parse
 
     text = _script_text(args)
-    result = analyze_program(parse(text))
+    program = parse(text)
+    result = analyze_program(program)
     diagnostics = lint(text)
+    if args.jobs and args.jobs > 1:
+        from .lint import check_jobs_eligibility
+
+        jobs_diag = check_jobs_eligibility(program, result, args.jobs)
+        if jobs_diag is not None:
+            diagnostics.append(jobs_diag)
     errors = sum(1 for d in diagnostics if d.severity == "error")
 
     if args.format == "json":

@@ -141,12 +141,28 @@ def tr(proc: Process, argv: list[str]):
         return 2
 
     coeff = cpu_coeff("tr")
+    # S21: a host-pool oracle may hold this stage's precomputed output;
+    # every incoming chunk is validated against the snapshot stream and
+    # a mismatch reconstructs the serial carry and resumes in-process
+    oracle = getattr(proc, "host_oracle", None)
+    if oracle is not None and getattr(oracle, "kind", "") != "tr":
+        oracle = None
     last_byte = -1
     while True:
         data = yield from proc.read(0, CHUNK)
         if not data:
             break
         yield from proc.cpu(len(data) * coeff)
+        if oracle is not None:
+            out = oracle.try_chunk(data)
+            if out is not None:
+                yield from proc.write(1, out)
+                continue
+            # prefix-stable mapping: bytes emitted so far are exactly
+            # the serial bytes, so the serial squeeze carry is the
+            # last emitted byte
+            last_byte = oracle.last_emitted_byte()
+            oracle = None
         if delete_chars is not None:
             data = data.translate(None, delete_chars)
         elif table is not None:
@@ -163,6 +179,8 @@ def tr(proc: Process, argv: list[str]):
                 data = squeeze_re.sub(b"\\1", data)
                 last_byte = data[-1]
         yield from proc.write(1, data)
+    if oracle is not None:
+        oracle.finish()
     return 0
 
 

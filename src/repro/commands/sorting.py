@@ -238,6 +238,12 @@ def _sort_plain(proc: Process, files: list[str], reverse: bool,
     sort newline-free bodies with the C sort and emit one joined write —
     the same virtual-op sequence, orders of magnitude less Python work.
     """
+    # S21: a host-pool oracle may hold this sort's precomputed output;
+    # raw chunks are still retained so a validation mismatch at any
+    # point falls back to sorting in-process at zero extra cost
+    oracle = getattr(proc, "host_oracle", None)
+    if oracle is not None and getattr(oracle, "kind", "") != "sort":
+        oracle = None
     chunks: list[bytes] = []
     for path in files:
         fd, needs_close = yield from open_input(proc, path)
@@ -250,6 +256,8 @@ def _sort_plain(proc: Process, files: list[str], reverse: bool,
                     chunks.append(b"\n")  # normalize missing final newline
                 break
             chunks.append(data)
+            if oracle is not None:
+                oracle.feed(data)
             nl = data.rfind(b"\n")
             if nl < 0:
                 tail_len += len(data)
@@ -258,6 +266,21 @@ def _sort_plain(proc: Process, files: list[str], reverse: bool,
                 tail_len = len(data) - nl - 1
         if needs_close:
             yield from proc.close(fd)
+    precomputed = oracle.finish() if oracle is not None else None
+    if precomputed is not None:
+        stream, n = precomputed
+        if n > 1:
+            yield from proc.cpu(n * math.log2(n) * SORT_CMP_COST)
+        out_fd = 1
+        close_out = False
+        if "o" in opts:
+            out_fd = yield from proc.open(opts["o"], "w")
+            close_out = True
+        if stream:
+            yield from proc.write(out_fd, stream)
+        if close_out:
+            yield from proc.close(out_fd)
+        return 0
     blob = b"".join(chunks)
     bodies = blob.split(b"\n")
     if bodies and bodies[-1] == b"":
@@ -423,6 +446,12 @@ def _uniq_plain(proc: Process, fd: int, coeff: float):
     per read is the same complete-lines byte count (zero for a chunk with
     no newline, the bare tail at EOF), and a group's first line is emitted
     via the same ``out.put`` the moment the group ends."""
+    # S21: a host-pool oracle may hold the sorted stream's run table;
+    # each complete-lines blob is validated byte-for-byte and its
+    # groupby keys come from the table instead of a split + groupby
+    oracle = getattr(proc, "host_oracle", None)
+    if oracle is not None and getattr(oracle, "kind", "") != "uniq":
+        oracle = None
     out = OutBuf(proc, 1)
     carry: bytes | None = None  # body of the still-open trailing group
     tail = b""
@@ -443,14 +472,21 @@ def _uniq_plain(proc: Process, fd: int, coeff: float):
                 continue
             blob, tail = buf[: nl + 1], buf[nl + 1 :]
             yield from proc.cpu(len(blob) * coeff)
-            bodies = blob.split(b"\n")
-            bodies.pop()  # trailing b"" after the final newline
-        keys = [k for k, _ in groupby(bodies)]
+            bodies = None
+        keys = oracle.feed_blob(blob) if oracle is not None and not done \
+            else None
+        if keys is None:
+            if bodies is None:
+                bodies = blob.split(b"\n")
+                bodies.pop()  # trailing b"" after the final newline
+            keys = [k for k, _ in groupby(bodies)]
         if carry is not None and (not keys or keys[0] != carry):
             keys.insert(0, carry)
         for body in keys[:-1]:
             yield from out.put(body + b"\n")
         carry = keys[-1]
+    if oracle is not None:
+        oracle.finish()
     if carry is not None:
         yield from out.put(carry + b"\n")
     yield from out.flush()

@@ -3,12 +3,12 @@ detection, spec-driven command explanation, and the shell tutor."""
 
 from . import semantic  # noqa: F401  (registers the analysis-backed checks)
 from . import valueflow  # noqa: F401  (registers the S20 absint checks)
-from .checks import Diagnostic, lint
+from .checks import Diagnostic, check_jobs_eligibility, lint
 from .explain import CHECK_EXPLANATIONS, explain, explain_check, explain_command
 from .misuse import Finding, MisuseConfig, MisuseGuard
 from .tutor import StatementAdvice, TutorReport, tutor
 
 __all__ = ["Diagnostic", "lint", "CHECK_EXPLANATIONS", "explain",
-           "explain_check", "explain_command",
+           "explain_check", "explain_command", "check_jobs_eligibility",
            "Finding", "MisuseConfig", "MisuseGuard",
            "StatementAdvice", "TutorReport", "tutor"]

@@ -395,3 +395,27 @@ def lint(source: str) -> list[Diagnostic]:
         d.code, d.message, d.context,
     ))
     return diagnostics
+
+
+def check_jobs_eligibility(program, analysis, jobs: int):
+    """JS2260: ``--jobs N`` (N > 1) was requested but no statement both
+    matches a poolable region shape and carries a ``safe_parallel`` (or
+    stronger) certificate — the S21 worker pool would stay idle for the
+    whole run.  Not a registered check: it needs the requested job
+    count, so the CLI invokes it directly when ``--jobs`` is given."""
+    if jobs <= 1:
+        return None
+    from ..parallel_host.regions import eligible_region_count
+
+    matched, cleared = eligible_region_count(program, analysis)
+    if cleared:
+        return None
+    detail = (f"{matched} shape-matched region(s) lack certificates"
+              if matched else
+              "no statement matches a poolable region shape")
+    return Diagnostic(
+        "JS2260", "warning",
+        f"--jobs {jobs} requested but no region carries a safe_parallel "
+        f"certificate; the worker pool will stay idle",
+        detail,
+    )

@@ -28,6 +28,19 @@ CHECK_EXPLANATIONS = {
         "failure mode: inject a disk-error into the producer and the "
         "unguarded pipeline still reports success."
     ),
+    "JS2260": (
+        "JS2260 idle worker pool.  `--jobs N` enables the S21 host "
+        "worker pool, but a region only ships to it when three gates "
+        "clear: the statement matches a poolable shape (cat/tr/sort/"
+        "uniq pipelines), the S16 analysis issued a safe_parallel "
+        "certificate for it, and the estimated input volume clears the "
+        "ship floor.  When no statement in the script can ever clear "
+        "the certificate gate, the requested workers will sit idle for "
+        "the whole run — this warning says the flag is not doing what "
+        "its user probably expects.  Fix the script shape (or drop the "
+        "flag); outputs are identical either way, because the pool "
+        "never changes observable behavior."
+    ),
     "JS3001": (
         "JS3001 use-before-def.  The static analyzer (repro.analysis) "
         "runs reaching definitions over the script's control flow: a "

@@ -1,0 +1,46 @@
+"""S21 — the multi-core execution plane.
+
+The virtual OS is a single-process discrete-event simulation: every
+virtual op (reads, CPU charges, writes, faults) executes in the
+coordinator process, which is what makes ``--jobs N`` trivially
+byte-identical in *virtual* time.  What a worker pool can buy is the
+*host* cost of the data plane: the byte crunching command kernels do
+(tr translation tables, sort comparisons, uniq run collapse) over real
+buffers.
+
+``repro.parallel_host`` ships certificate-gated dataflow regions to a
+persistent pool of forked workers.  Workers compute the byte streams a
+region's stages *will* produce from a snapshot of the input subtree;
+back in the simulation, per-stage oracles validate every chunk the
+stage actually sees against the precomputed stream (an incremental
+memcmp) and emit precomputed output slices instead of recomputing
+them.  A mismatch at any point — the file changed between snapshot and
+use, a fault corrupted a buffer, a worker crashed or timed out —
+disarms the oracle mid-stream and the stage falls back to its ordinary
+in-process code with reconstructed carry state.  Because the stream
+mapping is prefix-stable, every byte emitted before the mismatch is
+exactly what the serial path would have emitted, so the fallback is
+seamless and ``--jobs`` can never change observable behaviour.
+
+Layering:
+
+* :mod:`.kernels`     — worker-side columnar compute (numpy-gated with
+                        pure-Python fallbacks)
+* :mod:`.pool`        — forked worker processes, pipes, watchdog,
+                        crash retry, per-worker accounting
+* :mod:`.regions`     — static region detection + S16/S20 gating
+* :mod:`.coordinator` — dispatch, deterministic merge, stage oracles
+"""
+
+from .coordinator import HostCoordinator, render_pool_stats
+from .pool import PoolConfig, shutdown_global_pool
+from .regions import detect_regions, eligible_region_count
+
+__all__ = [
+    "HostCoordinator",
+    "PoolConfig",
+    "detect_regions",
+    "eligible_region_count",
+    "render_pool_stats",
+    "shutdown_global_pool",
+]

@@ -55,9 +55,14 @@ from .state import ShellError, ShellState
 class Interpreter:
     """Evaluates a parsed script against a ShellState inside a vOS."""
 
-    def __init__(self, state: ShellState, optimizer=None):
+    def __init__(self, state: ShellState, optimizer=None,
+                 host_coord=None, stage_oracle=None):
         self.state = state
         self.optimizer = optimizer
+        #: S21 host-pool coordinator (None when --jobs 1) and, in a
+        #: pipeline-stage child, the stage's precomputed-stream oracle
+        self.host_coord = host_coord
+        self.stage_oracle = stage_oracle
         self.jobs: set[int] = set()
         self.traps: dict[str, str] = {}
         self._local_frames: list[dict] = []
@@ -202,10 +207,13 @@ class Interpreter:
         return right
 
     def exec_pipeline(self, node: Pipeline, proc: Process):
+        oracles = (self.host_coord.oracles_for(node)
+                   if self.host_coord is not None else None)
         if node.negated:
             self.condition_depth += 1
         try:
-            status = yield from self._run_pipeline(node.commands, proc)
+            status = yield from self._run_pipeline(node.commands, proc,
+                                                   oracles)
         finally:
             if node.negated:
                 self.condition_depth -= 1
@@ -216,7 +224,8 @@ class Interpreter:
             self.maybe_errexit(status)
         return status
 
-    def _run_pipeline(self, commands: tuple[Command, ...], proc: Process):
+    def _run_pipeline(self, commands: tuple[Command, ...], proc: Process,
+                      oracles=None):
         pids = []
         prev_reader = None
         for i, cmd in enumerate(commands):
@@ -229,7 +238,8 @@ class Interpreter:
                 next_reader = reader
             else:
                 next_reader = None
-            body = self.subshell_body(cmd)
+            body = self.subshell_body(
+                cmd, stage_oracle=oracles[i] if oracles else None)
             pid = yield from proc.spawn(body, name=f"pipe[{i}]", fds=fds)
             pids.append(pid)
             prev_reader = next_reader
@@ -242,11 +252,14 @@ class Interpreter:
             return failing[-1] if failing else 0
         return statuses[-1] if statuses else 0
 
-    def subshell_body(self, cmd: Command, state: Optional[ShellState] = None):
+    def subshell_body(self, cmd: Command, state: Optional[ShellState] = None,
+                      stage_oracle=None):
         forked = (state or self.state).fork()
 
         def body(child_proc: Process):
-            child = Interpreter(forked, self.optimizer)
+            child = Interpreter(forked, self.optimizer,
+                                host_coord=self.host_coord,
+                                stage_oracle=stage_oracle)
             child_proc.cwd = forked.cwd
             try:
                 status = yield from child.exec(cmd, child_proc)
@@ -456,7 +469,16 @@ class Interpreter:
                 yield from self.write_err(proc, f"jash: {err}")
                 return 1
 
-            def body(child: Process, fn=fn, args=args):
+            # S21: a pipeline-stage oracle travels via the stage child's
+            # interpreter; a bare top-level region (e.g. ``sort FILE``)
+            # resolves directly against the coordinator
+            oracle = self.stage_oracle
+            if oracle is None and self.host_coord is not None:
+                oracle = self.host_coord.oracle_for_simple(node)
+
+            def body(child: Process, fn=fn, args=args, oracle=oracle):
+                if oracle is not None:
+                    child.host_oracle = oracle
                 yield from child.cpu(PROC_STARTUP)
                 status = yield from fn(child, args)
                 return status if status is not None else 0

@@ -59,7 +59,8 @@ class Shell:
                  persist_state: bool = False,
                  faults: Optional[FaultPlan] = None,
                  tracer=None,
-                 metrics=None):
+                 metrics=None,
+                 jobs: Optional[int] = None):
         self.machine = machine or laptop()
         self.kernel = kernel if kernel is not None else self.machine.make_kernel()
         self.optimizer = optimizer
@@ -71,6 +72,23 @@ class Shell:
         if faults is not None:
             self.kernel.faults = faults
         self._state: Optional[ShellState] = None
+        # S21 host pool: --jobs N / JASH_JOBS enables the multi-core
+        # execution plane; 1 (the default) keeps it entirely out of the
+        # way.  The coordinator is lazy — no workers fork until a
+        # certificate- and volume-gated region actually ships.
+        if jobs is None:
+            import os
+
+            try:
+                jobs = int(os.environ.get("JASH_JOBS", "1") or "1")
+            except ValueError:
+                jobs = 1
+        self.jobs = max(1, jobs)
+        self.host_coord = None
+        if self.jobs > 1:
+            from .parallel_host import HostCoordinator, PoolConfig
+
+            self.host_coord = HostCoordinator(PoolConfig(jobs=self.jobs))
 
     @property
     def tracer(self):
@@ -118,7 +136,10 @@ class Shell:
                 self._state = state
         for name, value in (env or {}).items():
             state.set(name, value, export=True)
-        interp = Interpreter(state, optimizer=self.optimizer)
+        if self.host_coord is not None:
+            self.host_coord.begin_run(program, self.fs, state.cwd)
+        interp = Interpreter(state, optimizer=self.optimizer,
+                             host_coord=self.host_coord)
         stdout, stderr = Collector(), Collector()
         body = interp.main_body(program)
         start = self.kernel.now
@@ -129,6 +150,8 @@ class Shell:
             fds={0: StringSource(stdin), 1: stdout, 2: stderr},
         )
         status = self.kernel.run_until_process_done(root)
+        if self.host_coord is not None:
+            self.host_coord.end_run(self.kernel)
         return RunResult(
             status=status,
             stdout=stdout.getvalue(),
